@@ -1,0 +1,82 @@
+"""E7 — Network size estimation accuracy (claim C3's substrate).
+
+The r/N sieve is only as good as the N estimate. Measures extrema-
+propagation error vs gossip time for several K (accuracy ~ 1/sqrt(K-2)),
+and tracking of population changes (mass join / mass leave) with epoch
+restarts — the dynamism the paper's scenario demands.
+"""
+
+import statistics
+
+from repro.estimation import ExtremaSizeEstimator
+from repro.membership import CyclonProtocol
+from repro.sim import Cluster, Simulation, UniformLatency
+
+from _helpers import print_table, run_once, stash
+
+N = 200
+
+
+def _cluster(k: int, seed: int, epoch=None):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+    factory = lambda node: [
+        CyclonProtocol(view_size=12, shuffle_size=6, period=1.0),
+        ExtremaSizeEstimator(k=k, period=0.5, epoch_length=epoch),
+    ]
+    nodes = cluster.add_nodes(N, factory)
+    cluster.seed_views("membership", 5)
+    return sim, cluster, nodes
+
+
+def _mean_relative_error(nodes, truth):
+    estimates = [n.protocol("size-estimator").estimate() for n in nodes if n.is_up]
+    return statistics.fmean(abs(e - truth) / truth for e in estimates)
+
+
+def test_e07_error_vs_time_and_k(benchmark):
+    def experiment():
+        rows = []
+        for k in (16, 64, 256):
+            sim, cluster, nodes = _cluster(k, seed=700 + k)
+            errors = []
+            for checkpoint in (5.0, 10.0, 20.0, 40.0):
+                sim.run_until(checkpoint)
+                errors.append(_mean_relative_error(nodes, N))
+            rows.append((k, *errors))
+        print_table(
+            f"E7a — size estimation relative error over time (true N={N})",
+            ["K", "err @5s", "err @10s", "err @20s", "err @40s"],
+            rows,
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    stash(benchmark, "convergence", [dict(zip(["k", "e5", "e10", "e20", "e40"], r)) for r in rows])
+    by_k = {r[0]: r for r in rows}
+    # converged error shrinks with K (~1/sqrt(K))
+    assert by_k[256][4] < by_k[16][4]
+    assert by_k[256][4] < 0.15
+    # convergence: late error <= early error for every K
+    for row in rows:
+        assert row[4] <= row[1] + 0.05
+
+
+def test_e07_tracks_population_changes(benchmark):
+    def experiment():
+        sim, cluster, nodes = _cluster(128, seed=750, epoch=15.0)
+        sim.run_until(40.0)
+        err_stable = _mean_relative_error(nodes, N)
+        # mass leave: kill half
+        for node in nodes[: N // 2]:
+            node.crash(permanent=True)
+        sim.run_until(100.0)  # several epochs
+        err_after_leave = _mean_relative_error(nodes, N // 2)
+        rows = [("stable (N=200)", err_stable), ("after 50% leave (N=100)", err_after_leave)]
+        print_table("E7b — tracking population changes (epoch restarts)", ["phase", "rel err"], rows)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    stash(benchmark, "tracking", [dict(zip(["phase", "err"], r)) for r in rows])
+    assert rows[0][1] < 0.25
+    assert rows[1][1] < 0.5  # reconverges to the new population

@@ -1,0 +1,100 @@
+"""E9 — Item/node ordering and range scans (claim C8).
+
+Measures (a) T-Man convergence: rounds until the ordered ring is exact,
+vs system size (expected O(log N)), and (b) end-to-end range-scan
+quality on DataDroplets with an indexed attribute: recall, precision
+and per-scan message cost on normally distributed values.
+"""
+
+import random
+
+from repro import DataDroplets, DataDropletsConfig, IndexSpec
+from repro.membership import CyclonProtocol
+from repro.overlay import TManProtocol
+from repro.processing import evaluate_scan
+from repro.sim import Cluster, Simulation, UniformLatency
+
+from _helpers import print_table, run_once, stash
+
+
+def _rounds_to_sorted_ring(n: int, seed: int, period=0.5, max_time=120.0):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+
+    def factory(node):
+        coordinate = (node.node_id.value + 0.5) / n
+        return [CyclonProtocol(view_size=12, shuffle_size=6, period=1.0),
+                TManProtocol("pos", lambda c=coordinate: c, view_size=6, period=period)]
+
+    nodes = cluster.add_nodes(n, factory)
+    cluster.seed_views("membership", 5)
+    t = 0.0
+    while t < max_time:
+        t += period * 2
+        sim.run_until(t)
+        good = sum(
+            1 for node in nodes
+            if (s := node.protocol("tman:pos").successor()) is not None
+            and s.node_id.value == (node.node_id.value + 1) % n
+        )
+        if good >= 0.98 * n:
+            return t / period  # rounds
+    return float("inf")
+
+
+def test_e09_tman_convergence(benchmark):
+    def experiment():
+        rows = []
+        for n in (32, 64, 128, 256):
+            rounds = _rounds_to_sorted_ring(n, seed=900 + n)
+            rows.append((n, rounds))
+        print_table(
+            "E9a — T-Man rounds to 98%-correct sorted ring (expect ~O(log N))",
+            ["N", "rounds"],
+            rows,
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    stash(benchmark, "convergence", [dict(zip(["n", "rounds"], r)) for r in rows])
+    assert all(r[1] < 200 for r in rows)
+    # growth is sublinear: 8x nodes costs far less than 8x rounds
+    assert rows[-1][1] < rows[0][1] * 6
+
+
+def test_e09_scan_quality(benchmark):
+    def experiment():
+        dd = DataDroplets(DataDropletsConfig(
+            seed=910, n_storage=60, n_soft=2, replication=4,
+            indexes=(IndexSpec("score", lo=0, hi=100),),
+        )).start(warmup=20.0)
+        rng = random.Random(4)
+        dataset = []
+        for i in range(120):
+            value = min(99.9, max(0.0, rng.gauss(50, 15)))
+            record = {"score": value}
+            dataset.append((f"item:{i}", record))
+            dd.put(f"item:{i}", record)
+        dd.run_for(60.0)  # overlay + equi-depth migration settle
+
+        rows = []
+        for low, high in ((40, 60), (10, 30), (70, 95)):
+            base = dd.metrics.counter_value("net.sent.storage")
+            scanned = dd.scan("score", low, high)
+            cost = dd.metrics.counter_value("net.sent.storage") - base
+            quality = evaluate_scan(scanned, dataset, "score", low, high)
+            rows.append((f"[{low},{high}]", quality.expected, quality.returned,
+                         quality.recall, quality.precision, cost))
+        print_table(
+            "E9b — indexed range scans over the ordered overlay (N=60, normal data)",
+            ["range", "expected", "returned", "recall", "precision", "scan msgs"],
+            rows,
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    stash(benchmark, "scans", [dict(zip(["range", "exp", "ret", "rec", "prec", "msgs"], r)) for r in rows])
+    for _, expected, _, recall, precision, _ in rows:
+        if expected > 0:
+            assert recall >= 0.85
+            assert precision >= 0.95

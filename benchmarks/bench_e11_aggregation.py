@@ -1,0 +1,75 @@
+"""E11 — Epidemic aggregation exposed to clients (claim C9).
+
+"It is straightforward to offer simple aggregations to clients with
+minimal overhead [...] some of the challenges, such as robust
+aggregation within the dynamic environment and how to cope with multiple
+instances of data due to redundancy, still remain."
+
+Measures count/sum/avg/max/min accuracy against ground truth through the
+client API — static, then under churn — including the 1/range-population
+duplicate correction the storage layer applies.
+"""
+
+from repro import DataDroplets, DataDropletsConfig, IndexSpec
+from repro.processing import GroundTruth, relative_errors, snapshot
+
+from _helpers import print_table, run_once, stash
+
+N = 50
+ITEMS = 80
+
+
+def _build(seed):
+    dd = DataDroplets(DataDropletsConfig(
+        seed=seed, n_storage=N, n_soft=2, replication=4,
+        indexes=(IndexSpec("score", lo=0, hi=200),),
+    )).start(warmup=20.0)
+    values = []
+    for i in range(ITEMS):
+        value = float(10 + (i * 7) % 150)
+        values.append(value)
+        dd.put(f"row:{i}", {"score": value})
+    dd.run_for(40.0)  # estimators converge
+    return dd, GroundTruth.of(values)
+
+
+def test_e11_aggregate_accuracy(benchmark):
+    def experiment():
+        dd, truth = _build(1100)
+        static = relative_errors(snapshot(dd, "score"), truth)
+
+        churn = dd.churn(event_rate=0.5, mean_downtime=10.0)
+        churn.start()
+        dd.run_for(45.0)
+        churned = relative_errors(snapshot(dd, "score"), truth)
+        churn.stop()
+
+        rows = [
+            (kind, static[kind], churned[kind])
+            for kind in ("count", "sum", "avg", "max", "min")
+        ]
+        print_table(
+            f"E11 — aggregate relative error (N={N}, {ITEMS} rows, r=4)",
+            ["aggregate", "static err", "under-churn err"],
+            rows,
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    stash(benchmark, "rows", [dict(zip(["kind", "static", "churn"], r)) for r in rows])
+
+    by_kind = {r[0]: r for r in rows}
+    # extremes are exact (monotone merge)
+    assert by_kind["max"][1] == 0.0
+    assert by_kind["min"][1] == 0.0
+    # avg is duplicate-insensitive and tight
+    assert by_kind["avg"][1] < 0.2
+    # count/sum carry size-estimator + census variance but stay usable
+    assert by_kind["count"][1] < 0.4
+    assert by_kind["sum"][1] < 0.4
+    # Under churn: avg and the monotone extremes stay accurate; count and
+    # sum degrade badly — exactly the open problem the paper flags
+    # ("robust aggregation within the dynamic environment [...] still
+    # remain[s]"), so they are reported but not asserted.
+    assert by_kind["avg"][2] < 0.3
+    assert by_kind["max"][2] == 0.0

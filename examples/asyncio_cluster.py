@@ -1,0 +1,51 @@
+"""The same protocols on real sockets: a localhost UDP gossip cluster.
+
+Every protocol in this library is sans-io; here the Cyclon membership,
+the size estimator and eager gossip run over actual UDP datagrams in one
+asyncio loop — no simulator involved. Useful as the template for a real
+multi-process deployment.
+
+Run:  python examples/asyncio_cluster.py
+"""
+
+import asyncio
+
+from repro.epidemic import EagerGossip
+from repro.estimation import ExtremaSizeEstimator
+from repro.membership import CyclonProtocol
+from repro.runtime import LocalCluster
+
+NODES = 16
+
+
+def stack(node):
+    return [
+        CyclonProtocol(view_size=8, shuffle_size=4, period=0.2),
+        ExtremaSizeEstimator(k=64, period=0.2),
+        EagerGossip(fanout=5),
+    ]
+
+
+async def main() -> None:
+    cluster = LocalCluster(NODES, stack, base_port=28000)
+    await cluster.start(seed_views=4)
+    print(f"{NODES} UDP nodes up on 127.0.0.1:28000..{28000 + NODES - 1}")
+
+    await cluster.run_for(2.0)  # let the overlay mix
+
+    estimates = [n.protocol("size-estimator").estimate() for n in cluster.nodes]
+    print(f"epidemic size estimates: min={min(estimates):.0f} "
+          f"max={max(estimates):.0f} (true {NODES})")
+
+    cluster.nodes[0].protocol("gossip").broadcast("announcement", {"msg": "hello, swarm"})
+    await cluster.run_for(1.0)
+    reached = sum(1 for n in cluster.nodes if n.protocol("gossip").has_seen("announcement"))
+    print(f"gossip broadcast reached {reached}/{NODES} nodes over real UDP")
+
+    sent = cluster.metrics.counter_value("net.sent.total")
+    print(f"total datagrams sent: {sent:,.0f}")
+    cluster.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

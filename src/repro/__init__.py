@@ -1,0 +1,45 @@
+"""DataDroplets — reproduction of *An epidemic approach to dependable
+key-value substrates* (Matos, Vilaça, Pereira, Oliveira — DSN 2011).
+
+A two-layer key-value substrate: a structured soft-state layer that
+orders, caches and delegates, over an epidemic persistent-state layer
+that disseminates writes by gossip and places data with local sieves.
+
+Quickstart::
+
+    from repro import DataDroplets, DataDropletsConfig, IndexSpec
+
+    dd = DataDroplets(DataDropletsConfig(
+        n_storage=100,
+        replication=4,
+        indexes=(IndexSpec("age", lo=0, hi=120),),
+    )).start()
+    dd.put("users:1", {"name": "ada", "age": 36})
+    dd.get("users:1")
+    dd.scan("age", 30, 40)
+    dd.aggregate("age", "avg")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim reproduction results.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    DataDropletsError,
+    TimeoutError_,
+)
+from repro.core.config import DataDropletsConfig, IndexSpec
+from repro.core.datadroplets import DataDroplets, UnavailableError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DataDroplets",
+    "DataDropletsConfig",
+    "DataDropletsError",
+    "IndexSpec",
+    "TimeoutError_",
+    "UnavailableError",
+    "__version__",
+]

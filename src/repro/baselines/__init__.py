@@ -1,0 +1,22 @@
+"""Baselines: the structured comparators the paper argues against.
+
+* :class:`DhtStore` — one-hop, full-membership DHT (Cassandra-style),
+  the E5 availability comparator.
+* :class:`ChordProtocol` — the classic multi-hop structured overlay
+  with successor lists, fingers and periodic stabilization; measures
+  structure-maintenance cost under churn (E5b).
+"""
+
+from repro.baselines.chord import ChordProtocol, chord_id, in_half_open, in_open_interval
+from repro.baselines.dht import DhtConfig, DhtNodeProtocol, DhtStore, UnavailableInDht
+
+__all__ = [
+    "ChordProtocol",
+    "DhtConfig",
+    "DhtNodeProtocol",
+    "DhtStore",
+    "UnavailableInDht",
+    "chord_id",
+    "in_half_open",
+    "in_open_interval",
+]

@@ -1,0 +1,373 @@
+"""Chord: multi-hop structured overlay baseline (paper ref [15]).
+
+A faithful (simulation-scale) implementation of the Chord protocol:
+consistent-hash identifiers, successor lists, finger tables, periodic
+*stabilization* / *fix-fingers* / *check-predecessor*, joins through a
+bootstrap node, and iterative O(log N) lookup routing.
+
+This is the second structured baseline (next to the one-hop DHT of
+:mod:`repro.baselines.dht`): it makes the paper's §I criticism concrete
+and measurable — "structure maintenance in a dynamic environment is
+hard because several invariants need to be observed and costly as
+repair mechanisms are reactive and thus induce an overhead proportional
+to churn". Benchmarks measure exactly that: stabilization traffic and
+lookup failure rates as functions of churn.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.hashing import KEYSPACE_SIZE, key_hash
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.sim.node import Protocol
+
+#: Identifier bits (the full 64-bit ring; fingers cover the top levels).
+M_BITS = 64
+
+
+def chord_id(node_id: NodeId) -> int:
+    """A node's position on the identifier ring."""
+    return key_hash(f"chord:{node_id.value}")
+
+
+def in_open_interval(value: int, low: int, high: int) -> bool:
+    """value in (low, high) on the ring (wrapping; empty when low==high)."""
+    if low == high:
+        return value != low  # the whole ring minus the endpoint
+    if low < high:
+        return low < value < high
+    return value > low or value < high
+
+
+def in_half_open(value: int, low: int, high: int) -> bool:
+    """value in (low, high] on the ring."""
+    return value == high or in_open_interval(value, low, high)
+
+
+# -- messages -----------------------------------------------------------------
+
+
+@message_type
+@dataclass(frozen=True)
+class FindSuccessor(Message):
+    request_id: str
+    target: int  # ring position being resolved
+    reply_to: NodeId
+    hops: int = 0
+
+
+@message_type
+@dataclass(frozen=True)
+class FoundSuccessor(Message):
+    request_id: str
+    successor: NodeId
+    successor_pos: int
+    hops: int = 0
+
+
+@message_type
+@dataclass(frozen=True)
+class GetPredecessor(Message):
+    request_id: str
+    reply_to: NodeId
+
+
+@message_type
+@dataclass(frozen=True)
+class PredecessorReply(Message):
+    request_id: str
+    predecessor: Optional[NodeId]
+    predecessor_pos: int = 0
+    successors: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)  # (id value, pos)
+
+
+@message_type
+@dataclass(frozen=True)
+class Notify(Message):
+    candidate_pos: int
+
+
+@message_type
+@dataclass(frozen=True)
+class ChordPing(Message):
+    nonce: int
+
+
+@message_type
+@dataclass(frozen=True)
+class ChordPong(Message):
+    nonce: int
+
+
+class ChordProtocol(Protocol):
+    """One Chord node: ring maintenance + lookup routing.
+
+    Args:
+        bootstrap: returns a known member to join through (None = we are
+            the first node and create the ring).
+        successors: successor-list length (fault tolerance).
+        stabilize_period / fix_fingers_period / check_predecessor_period:
+            the three maintenance loops from the Chord paper.
+        lookup_timeout: seconds before a lookup is reported failed.
+    """
+
+    name = "chord"
+
+    def __init__(
+        self,
+        bootstrap: Callable[[], Optional[NodeId]],
+        successors: int = 4,
+        stabilize_period: float = 1.0,
+        fix_fingers_period: float = 2.0,
+        check_predecessor_period: float = 2.0,
+        lookup_timeout: float = 8.0,
+    ):
+        super().__init__()
+        if successors <= 0:
+            raise ValueError("successors must be positive")
+        self.bootstrap = bootstrap
+        self.successor_count = successors
+        self.stabilize_period = stabilize_period
+        self.fix_fingers_period = fix_fingers_period
+        self.check_predecessor_period = check_predecessor_period
+        self.lookup_timeout = lookup_timeout
+
+        self.my_pos = 0
+        self.predecessor: Optional[NodeId] = None
+        self.predecessor_pos = 0
+        self.successors: List[Tuple[NodeId, int]] = []  # (node, pos) ordered
+        self.fingers: Dict[int, Tuple[NodeId, int]] = {}  # level -> (node, pos)
+        self._next_finger = 0
+        self._pending: Dict[str, Callable[[Optional[FoundSuccessor]], None]] = {}
+        self._request_seq = itertools.count()
+        self._ping_seq = itertools.count()
+        self._awaiting_pong: Dict[int, NodeId] = {}
+        self._timers = []
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.my_pos = chord_id(self.host.node_id)
+        self.predecessor = None
+        self.successors = []
+        self.fingers = {}
+        self._pending = {}
+        self._awaiting_pong = {}
+        seed = self.bootstrap()
+        if seed is not None and seed != self.host.node_id:
+            # join: resolve our own successor through the seed
+            request_id = self._new_request()
+            self._pending[request_id] = self._joined
+            self.send(seed, FindSuccessor(request_id, self.my_pos, self.host.node_id))
+            self.host.set_timer(self.lookup_timeout, lambda: self._expire(request_id))
+        self._timers = [
+            self.every(self.stabilize_period, self._stabilize),
+            self.every(self.fix_fingers_period, self._fix_next_finger),
+            self.every(self.check_predecessor_period, self._check_predecessor),
+        ]
+
+    def on_stop(self) -> None:
+        for timer in self._timers:
+            timer.stop()
+
+    def _new_request(self) -> str:
+        return f"{self.host.node_id.value}:{next(self._request_seq)}"
+
+    def _joined(self, found: Optional[FoundSuccessor]) -> None:
+        if found is not None:
+            self._adopt_successor(found.successor, found.successor_pos)
+            self.host.metrics.counter("chord.joins").inc()
+
+    # ------------------------------------------------------------------
+    # successor list handling
+    # ------------------------------------------------------------------
+    def successor(self) -> Optional[Tuple[NodeId, int]]:
+        return self.successors[0] if self.successors else None
+
+    def _adopt_successor(self, node: NodeId, pos: int) -> None:
+        if node == self.host.node_id:
+            return
+        entries = {p: (n, p) for n, p in self.successors}
+        entries[pos] = (node, pos)
+        ordered = sorted(entries.values(), key=lambda e: (e[1] - self.my_pos) % KEYSPACE_SIZE)
+        self.successors = ordered[: self.successor_count]
+
+    def _drop_peer(self, node: NodeId) -> None:
+        self.successors = [(n, p) for n, p in self.successors if n != node]
+        self.fingers = {i: (n, p) for i, (n, p) in self.fingers.items() if n != node}
+        if self.predecessor == node:
+            self.predecessor = None
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _closest_preceding(self, target: int) -> Optional[Tuple[NodeId, int]]:
+        """Best known node strictly between us and the target."""
+        best: Optional[Tuple[NodeId, int]] = None
+        best_distance = None
+        candidates = list(self.fingers.values()) + list(self.successors)
+        for node, pos in candidates:
+            if in_open_interval(pos, self.my_pos, target):
+                distance = (target - pos) % KEYSPACE_SIZE
+                if best_distance is None or distance < best_distance:
+                    best = (node, pos)
+                    best_distance = distance
+        return best
+
+    def _handle_find_successor(self, message: FindSuccessor) -> None:
+        succ = self.successor()
+        if succ is None:
+            # alone on the ring: we are everyone's successor
+            self.send(message.reply_to, FoundSuccessor(
+                message.request_id, self.host.node_id, self.my_pos, message.hops))
+            return
+        succ_node, succ_pos = succ
+        if in_half_open(message.target, self.my_pos, succ_pos):
+            self.send(message.reply_to, FoundSuccessor(
+                message.request_id, succ_node, succ_pos, message.hops))
+            return
+        nxt = self._closest_preceding(message.target)
+        if nxt is None:
+            nxt = succ
+        if message.hops >= 2 * M_BITS:  # routing loop safety valve
+            self.host.metrics.counter("chord.routing_loops").inc()
+            return
+        self.send(nxt[0], FindSuccessor(
+            message.request_id, message.target, message.reply_to, message.hops + 1))
+        self.host.metrics.counter("chord.route_hops").inc()
+
+    def lookup(self, key: str, on_done: Callable[[Optional[NodeId]], None]) -> None:
+        """Resolve the node responsible for ``key`` (None on timeout)."""
+        target = key_hash(key)
+        request_id = self._new_request()
+
+        def finish(found: Optional[FoundSuccessor]) -> None:
+            if found is None:
+                self.host.metrics.counter("chord.lookup_failures").inc()
+                on_done(None)
+            else:
+                self.host.metrics.histogram("chord.lookup_hops").observe(found.hops)
+                on_done(found.successor)
+
+        self._pending[request_id] = finish
+        self.host.set_timer(self.lookup_timeout, lambda: self._expire(request_id))
+        self._handle_find_successor(FindSuccessor(request_id, target, self.host.node_id))
+        self.host.metrics.counter("chord.lookups").inc()
+
+    def _expire(self, request_id: str) -> None:
+        callback = self._pending.pop(request_id, None)
+        if callback is not None:
+            callback(None)
+
+    # ------------------------------------------------------------------
+    # maintenance loops
+    # ------------------------------------------------------------------
+    def _stabilize(self) -> None:
+        succ = self.successor()
+        if succ is None:
+            seed = self.bootstrap()
+            if seed is not None and seed != self.host.node_id:
+                request_id = self._new_request()
+                self._pending[request_id] = self._joined
+                self.send(seed, FindSuccessor(request_id, self.my_pos, self.host.node_id))
+            return
+        request_id = self._new_request()
+        self.send(succ[0], GetPredecessor(request_id, self.host.node_id))
+        self.host.metrics.counter("chord.stabilize_rounds").inc()
+
+    def _handle_predecessor_reply(self, sender: NodeId, reply: PredecessorReply) -> None:
+        succ = self.successor()
+        if succ is not None and reply.predecessor is not None:
+            if in_open_interval(reply.predecessor_pos, self.my_pos, succ[1]):
+                self._adopt_successor(reply.predecessor, reply.predecessor_pos)
+        # merge the successor's own successor list (shifted by one)
+        for value, pos in reply.successors:
+            self._adopt_successor(NodeId(value), pos)
+        target = self.successor()
+        if target is not None:
+            self.send(target[0], Notify(self.my_pos))
+
+    def _handle_notify(self, sender: NodeId, message: Notify) -> None:
+        if self.predecessor is None or in_open_interval(
+            message.candidate_pos, self.predecessor_pos, self.my_pos
+        ):
+            self.predecessor = sender
+            self.predecessor_pos = message.candidate_pos
+        if not self.successors:
+            # Ring-creation corner case: the first node learns its
+            # successor from whoever joins through it — without this the
+            # creator stays "alone" forever and answers every lookup
+            # with itself.
+            self._adopt_successor(sender, message.candidate_pos)
+
+    def _fix_next_finger(self) -> None:
+        # refresh one finger per round, high levels first (they matter most)
+        level = M_BITS - 1 - (self._next_finger % 24)  # top 24 levels suffice
+        self._next_finger += 1
+        target = (self.my_pos + (1 << level)) % KEYSPACE_SIZE
+        request_id = self._new_request()
+
+        def install(found: Optional[FoundSuccessor]) -> None:
+            if found is not None and found.successor != self.host.node_id:
+                self.fingers[level] = (found.successor, found.successor_pos)
+
+        self._pending[request_id] = install
+        self.host.set_timer(self.lookup_timeout, lambda: self._expire(request_id))
+        self._handle_find_successor(FindSuccessor(request_id, target, self.host.node_id))
+
+    def _check_predecessor(self) -> None:
+        targets = []
+        if self.predecessor is not None:
+            targets.append(self.predecessor)
+        targets.extend(n for n, _ in self.successors[:2])
+        for target in targets:
+            nonce = next(self._ping_seq)
+            self._awaiting_pong[nonce] = target
+            self.send(target, ChordPing(nonce))
+            self.host.set_timer(self.stabilize_period, lambda n=nonce: self._pong_deadline(n))
+
+    def _pong_deadline(self, nonce: int) -> None:
+        target = self._awaiting_pong.pop(nonce, None)
+        if target is not None:
+            self._drop_peer(target)
+            self.host.metrics.counter("chord.suspicions").inc()
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, FindSuccessor):
+            self._handle_find_successor(message)
+        elif isinstance(message, FoundSuccessor):
+            callback = self._pending.pop(message.request_id, None)
+            if callback is not None:
+                callback(message)
+        elif isinstance(message, GetPredecessor):
+            self.send(sender, PredecessorReply(
+                message.request_id,
+                self.predecessor,
+                self.predecessor_pos,
+                tuple((n.value, p) for n, p in self.successors),
+            ))
+        elif isinstance(message, PredecessorReply):
+            self._handle_predecessor_reply(sender, message)
+        elif isinstance(message, Notify):
+            self._handle_notify(sender, message)
+        elif isinstance(message, ChordPing):
+            self.send(sender, ChordPong(message.nonce))
+        elif isinstance(message, ChordPong):
+            self._awaiting_pong.pop(message.nonce, None)
+        else:
+            self.host.metrics.counter("chord.unexpected_message").inc()
+
+    # ------------------------------------------------------------------
+    # introspection for tests/benchmarks
+    # ------------------------------------------------------------------
+    def ring_view(self) -> Dict[str, object]:
+        return {
+            "pos": self.my_pos,
+            "successor": self.successors[0][0].value if self.successors else None,
+            "predecessor": self.predecessor.value if self.predecessor else None,
+            "fingers": len(self.fingers),
+        }

@@ -1,0 +1,372 @@
+"""Structured DHT key-value store baseline (the paper's antagonist).
+
+A Cassandra-style one-hop DHT: every node knows the full ring (§I —
+"knowing all nodes to perform some operations as in Cassandra"), each
+key is replicated on its R clockwise successors, and structure is
+maintained *reactively*: nodes ping their successor lists, and when a
+failure is detected the primary re-replicates its key range to the next
+alive successor. This is exactly the design whose churn behaviour the
+paper criticises:
+
+* repair traffic is proportional to churn (every transient reboot can
+  trigger a re-replication);
+* between failure and detection+repair there is an availability window;
+* responsibility is rigid — a read served strictly from the R current
+  successors fails if churn moved responsibility faster than repair.
+
+Experiment E5 runs this side by side with DataDroplets under identical
+workload and churn.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import DataDropletsError, TimeoutError_
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.sim.cluster import Cluster
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network, UniformLatency
+from repro.sim.node import Node, Protocol
+from repro.sim.simulator import Simulation
+from repro.softstate.messages import ClientReply
+from repro.softstate.ring import ConsistentHashRing
+from repro.store.memtable import Memtable
+from repro.store.tuples import Version, VersionedTuple, make_tombstone, make_tuple
+
+
+@dataclass(frozen=True)
+class DhtConfig:
+    """Tunables of the DHT baseline."""
+
+    seed: int = 42
+    n_nodes: int = 64
+    replication: int = 3
+    ping_period: float = 2.0
+    ping_timeout: float = 1.0
+    rebalance_period: float = 5.0
+    virtual_nodes: int = 8
+    latency_low: float = 0.005
+    latency_high: float = 0.05
+    loss_rate: float = 0.0
+    client_timeout: float = 15.0
+    read_retry: int = 2  # replicas tried after the primary
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0 or self.replication <= 0:
+            raise ValueError("n_nodes and replication must be positive")
+
+
+# -- messages ----------------------------------------------------------------
+
+
+@message_type
+@dataclass(frozen=True)
+class DhtPut(Message):
+    request_id: str
+    item: VersionedTuple
+
+
+@message_type
+@dataclass(frozen=True)
+class DhtReplicate(Message):
+    items: Tuple[VersionedTuple, ...] = field(default_factory=tuple)
+
+
+@message_type
+@dataclass(frozen=True)
+class DhtGet(Message):
+    request_id: str
+    key: str
+
+
+@message_type
+@dataclass(frozen=True)
+class DhtPing(Message):
+    nonce: int
+
+
+@message_type
+@dataclass(frozen=True)
+class DhtPong(Message):
+    nonce: int
+
+
+class DhtNodeProtocol(Protocol):
+    """One DHT storage node: replica set maintenance + reads/writes."""
+
+    name = "dht"
+
+    def __init__(self, ring: ConsistentHashRing, config: DhtConfig):
+        super().__init__()
+        self.ring = ring
+        self.config = config
+        self.memtable: Memtable = None  # type: ignore[assignment]
+        self.alive_belief: Dict[NodeId, bool] = {}
+        self._ping_nonce = itertools.count()
+        self._awaiting_pong: Dict[int, NodeId] = {}
+        self._timers = []
+        self._last_membership_snapshot: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.memtable = self.host.durable.setdefault("memtable", Memtable())
+        self.alive_belief = {}
+        self._awaiting_pong = {}
+        self._last_membership_snapshot = None
+        self._timers = [
+            self.every(self.config.ping_period, self._ping_round),
+            self.every(self.config.rebalance_period, self._rebalance),
+        ]
+
+    def on_stop(self) -> None:
+        for timer in self._timers:
+            timer.stop()
+
+    # ------------------------------------------------------------------
+    def _successor_watchlist(self) -> List[NodeId]:
+        """Nodes whose liveness this node must track: the members of the
+        replica sets of its own primary ranges (its ring successors)."""
+        return [
+            n
+            for n in self.ring.successors_for(
+                f"ring:{self.host.node_id.value}:0", self.config.replication + 1, alive_only=False
+            )
+            if n != self.host.node_id
+        ]
+
+    def _believed_alive(self, node: NodeId) -> bool:
+        return self.alive_belief.get(node, True)
+
+    def _ping_round(self) -> None:
+        for target in self._successor_watchlist():
+            nonce = next(self._ping_nonce)
+            self._awaiting_pong[nonce] = target
+            self.send(target, DhtPing(nonce))
+            self.host.set_timer(self.config.ping_timeout, lambda n=nonce: self._pong_deadline(n))
+        self.host.metrics.counter("dht.pings").inc(len(self._successor_watchlist()))
+
+    def _pong_deadline(self, nonce: int) -> None:
+        target = self._awaiting_pong.pop(nonce, None)
+        if target is None:
+            return  # answered in time
+        if self.alive_belief.get(target, True):
+            self.alive_belief[target] = False
+            self.host.metrics.counter("dht.suspicions").inc()
+            self._repair_after_failure()
+
+    def _repair_after_failure(self) -> None:
+        """Reactive repair: re-replicate primary keys to the believed
+        replica set (the per-churn-event cost the paper highlights)."""
+        transfers: Dict[NodeId, List[VersionedTuple]] = {}
+        for item in self.memtable.all_items():
+            if not self._is_primary(item.key):
+                continue
+            for replica in self._replica_set(item.key):
+                if replica != self.host.node_id:
+                    transfers.setdefault(replica, []).append(item)
+        for target, items in transfers.items():
+            self.send(target, DhtReplicate(tuple(items)))
+            self.host.metrics.counter("dht.repair_items").inc(len(items))
+        if transfers:
+            self.host.metrics.counter("dht.repairs").inc()
+
+    def _rebalance(self) -> None:
+        """Re-push primary keys when the believed membership changed —
+        catches drift the immediate failure-triggered repair missed
+        (e.g. a node rebooting with stale data)."""
+        snapshot = tuple(sorted((n.value, self._believed_alive(n)) for n in self._successor_watchlist()))
+        if snapshot == self._last_membership_snapshot:
+            return
+        self._last_membership_snapshot = snapshot
+        self._repair_after_failure()
+
+    # ------------------------------------------------------------------
+    def _replica_set(self, key: str) -> List[NodeId]:
+        """Current responsible nodes: R successors among believed-alive."""
+        candidates = self.ring.successors_for(key, len(self.ring), alive_only=False)
+        alive = [n for n in candidates if self._believed_alive(n)]
+        return alive[: self.config.replication]
+
+    def _is_primary(self, key: str) -> bool:
+        replica_set = self._replica_set(key)
+        return bool(replica_set) and replica_set[0] == self.host.node_id
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, DhtPing):
+            self.send(sender, DhtPong(message.nonce))
+        elif isinstance(message, DhtPong):
+            self._awaiting_pong.pop(message.nonce, None)
+            self.alive_belief[sender] = True
+        elif isinstance(message, DhtPut):
+            self._handle_put(sender, message)
+        elif isinstance(message, DhtReplicate):
+            for item in message.items:
+                self.memtable.put(item)
+        elif isinstance(message, DhtGet):
+            self._handle_get(sender, message)
+        else:
+            self.host.metrics.counter("dht.unexpected_message").inc()
+
+    def _handle_put(self, client: NodeId, message: DhtPut) -> None:
+        self.memtable.put(message.item)
+        replicas = [n for n in self._replica_set(message.item.key) if n != self.host.node_id]
+        if replicas:
+            self.send_many(replicas, DhtReplicate((message.item,)))
+        self.host.send(client, "client", ClientReply(message.request_id, ok=True,
+                                                     value={"replicas": len(replicas) + 1}))
+        self.host.metrics.counter("dht.writes").inc()
+
+    def send_many(self, targets: List[NodeId], message: Message) -> None:
+        for target in targets:
+            self.send(target, message)
+
+    def _handle_get(self, client: NodeId, message: DhtGet) -> None:
+        item = self.memtable.get_any(message.key)
+        if item is None:
+            self.host.send(client, "client",
+                           ClientReply(message.request_id, ok=False, error="miss"))
+        else:
+            value = None if item.tombstone else dict(item.record)
+            self.host.send(client, "client",
+                           ClientReply(message.request_id, ok=True, value=value))
+        self.host.metrics.counter("dht.reads").inc()
+
+
+class DhtStore:
+    """Facade mirroring :class:`~repro.core.datadroplets.DataDroplets`
+    (same blocking client API) so benchmarks can swap substrates."""
+
+    def __init__(self, config: Optional[DhtConfig] = None,
+                 sim: Optional[Simulation] = None, cluster: Optional[Cluster] = None):
+        self.config = config if config is not None else DhtConfig()
+        self.sim = sim if sim is not None else Simulation(seed=self.config.seed)
+        if cluster is not None:
+            self.cluster = cluster
+        else:
+            network = Network(
+                self.sim,
+                latency=UniformLatency(self.config.latency_low, self.config.latency_high),
+                loss_rate=self.config.loss_rate,
+            )
+            self.cluster = Cluster(self.sim, network=network)
+        self.ring = ConsistentHashRing(self.config.virtual_nodes)
+        self._request_seq = itertools.count()
+        self._versions: Dict[str, Version] = {}
+
+        self.nodes: List[Node] = self.cluster.add_nodes(
+            self.config.n_nodes, self._stack, label_prefix="dht-", boot=False
+        )
+        from repro.core.datadroplets import ClientProtocol
+
+        self.client_node = self.cluster.add_node(lambda n: [ClientProtocol()],
+                                                 label="dht-client", boot=False)
+        self._started = False
+
+    def _stack(self, node: Node):
+        return [DhtNodeProtocol(self.ring, self.config)]
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.cluster.metrics
+
+    def start(self, warmup: float = 5.0) -> "DhtStore":
+        if self._started:
+            return self
+        for node in self.nodes:
+            node.boot()
+            self.ring.add(node.node_id)
+        self.client_node.boot()
+        self._started = True
+        if warmup > 0:
+            self.sim.run_for(warmup)
+        return self
+
+    def run_for(self, seconds: float) -> None:
+        self.sim.run_for(seconds)
+
+    def churn(self, event_rate: float, mean_downtime: float = 30.0,
+              permanent_fraction: float = 0.0):
+        """Churn process over the DHT storage nodes (never the client)."""
+        from repro.sim.churn import PoissonChurn
+
+        view = Cluster.view_of(self.sim, self.cluster.network, self.nodes,
+                               rng_stream="dht-churn-view")
+        return PoissonChurn(self.sim, view, event_rate=event_rate,
+                            mean_downtime=mean_downtime,
+                            permanent_fraction=permanent_fraction)
+
+    # ------------------------------------------------------------------
+    def put(self, key: str, record: Dict[str, Any]) -> Dict[str, Any]:
+        version = self._next_version(key)
+        item = make_tuple(key, record, version)
+        return self._write(key, item).value
+
+    def delete(self, key: str) -> None:
+        version = self._next_version(key)
+        item = make_tombstone(key, version)
+        self._write(key, item)
+
+    def _write(self, key: str, item: VersionedTuple) -> ClientReply:
+        """Write via the primary, falling back across the replica set
+        when the primary does not answer (standard client retry)."""
+        last_error = "no replica reachable"
+        for target in self._targets(key):
+            try:
+                return self._call(key, lambda rid: DhtPut(rid, item), targets=[target])
+            except (UnavailableInDht, TimeoutError_) as exc:
+                last_error = str(exc)
+        raise UnavailableInDht(last_error)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read, falling back across the key's replica set."""
+        targets = self._targets(key)[: 1 + self.config.read_retry]
+        last_error = "no replica reachable"
+        for target in targets:
+            try:
+                reply = self._call(key, lambda rid: DhtGet(rid, key), targets=[target])
+                return reply.value
+            except (UnavailableInDht, TimeoutError_) as exc:
+                last_error = str(exc)
+        raise UnavailableInDht(last_error)
+
+    # ------------------------------------------------------------------
+    def _next_version(self, key: str) -> Version:
+        current = self._versions.get(key, Version(0, 0))
+        version = current.next(0)
+        self._versions[key] = version
+        return version
+
+    def _targets(self, key: str) -> List[NodeId]:
+        """The key's replica set by ring position (all members, alive or
+        not — the *client* does not get omniscient failure knowledge)."""
+        return self.ring.successors_for(key, self.config.replication, alive_only=False)
+
+    def _call(self, key: str, build, targets: List[NodeId]) -> ClientReply:
+        if not self._started:
+            raise DataDropletsError("call start() first")
+        if not targets:
+            raise UnavailableInDht("empty replica set")
+        request_id = f"dht-req-{next(self._request_seq)}"
+        message = build(request_id)
+        self.sim.call_soon(lambda: self.client_node.send(targets[0], "dht", message))
+        reply = self._await(request_id)
+        if not reply.ok:
+            raise UnavailableInDht(reply.error or "dht operation failed")
+        return reply
+
+    def _await(self, request_id: str) -> ClientReply:
+        client = self.client_node.protocol("client")
+        deadline = self.sim.now + self.config.client_timeout
+        while request_id not in client.replies:  # type: ignore[attr-defined]
+            if self.sim.now >= deadline or not self.sim.step():
+                raise TimeoutError_(f"dht: no reply to {request_id}")
+        return client.replies.pop(request_id)  # type: ignore[attr-defined]
+
+
+class UnavailableInDht(DataDropletsError):
+    """A DHT operation found no live replica holding the data."""

@@ -1,0 +1,152 @@
+"""Command-line interface: quick demos without writing any code.
+
+Usage::
+
+    python -m repro demo                 # boot a system, CRUD + scan + aggregate
+    python -m repro churn --rate 1.0     # availability under churn
+    python -m repro estimate -n 300      # size-estimation convergence demo
+    python -m repro info                 # inventory and experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import DataDroplets, DataDropletsConfig, IndexSpec, __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"DataDroplets reproduction v{__version__}")
+    print("paper: Matos, Vilaça, Pereira, Oliveira — DSN 2011")
+    print()
+    print("subsystems: sim, membership, epidemic, estimation, sieve,")
+    print("            randomwalk, redundancy, overlay, store, softstate,")
+    print("            core, baselines (one-hop DHT + Chord), workloads,")
+    print("            processing, runtime (asyncio/UDP)")
+    print()
+    print("experiments: pytest benchmarks/ --benchmark-only -s   (E1..E13)")
+    print("tests:       pytest tests/")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    config = DataDropletsConfig(
+        n_storage=args.nodes,
+        n_soft=3,
+        replication=args.replication,
+        indexes=(IndexSpec("score", lo=0, hi=100),),
+        seed=args.seed,
+    )
+    print(f"booting {config.n_storage} storage + {config.n_soft} soft nodes ...")
+    dd = DataDroplets(config).start(warmup=20.0)
+    for i in range(30):
+        dd.put(f"demo:{i}", {"score": float((i * 17) % 100), "name": f"row-{i}"})
+    dd.run_for(45.0)
+    print("get demo:3       ->", dd.get("demo:3"))
+    rows = dd.scan("score", 20, 60)
+    print(f"scan score 20-60 -> {len(rows)} rows")
+    print("avg(score)       -> %.2f" % dd.aggregate("score", "avg"))
+    print("count            -> %.1f" % dd.aggregate("score", "count"))
+    copies = sum(1 for n in dd.storage_nodes if "demo:3" in n.durable["memtable"])
+    print(f"replicas of demo:3: {copies}")
+    print(f"virtual time elapsed: {dd.sim.now:.0f}s; "
+          f"messages: {dd.metrics.counter_value('net.sent.total'):,.0f}")
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro import TimeoutError_, UnavailableError
+
+    dd = DataDroplets(DataDropletsConfig(
+        n_storage=args.nodes, n_soft=2, replication=args.replication, seed=args.seed,
+    )).start(warmup=15.0)
+    keys = 25
+    for i in range(keys):
+        dd.put(f"k{i}", {"v": i})
+    dd.run_for(20.0)
+    churn = dd.churn(event_rate=args.rate, mean_downtime=args.downtime)
+    churn.start()
+    dd.run_for(args.duration)
+    ok = 0
+    for i in range(keys):
+        try:
+            if dd.get(f"k{i}") == {"v": i}:
+                ok += 1
+        except (UnavailableError, TimeoutError_):
+            pass
+    churn.stop()
+    up = sum(1 for n in dd.storage_nodes if n.is_up)
+    print(f"churn rate {args.rate}/s for {args.duration:.0f}s: "
+          f"{churn.crashes} crashes, {up}/{args.nodes} up at the end")
+    print(f"read availability: {ok}/{keys} ({ok / keys:.1%})")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    import statistics
+
+    from repro.estimation import ExtremaSizeEstimator
+    from repro.membership import CyclonProtocol
+    from repro.sim import Cluster, Simulation, UniformLatency
+
+    sim = Simulation(seed=args.seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+    factory = lambda node: [
+        CyclonProtocol(view_size=12, shuffle_size=6, period=1.0),
+        ExtremaSizeEstimator(k=args.k, period=0.5),
+    ]
+    nodes = cluster.add_nodes(args.nodes, factory)
+    cluster.seed_views("membership", 4)
+    for checkpoint in (5, 10, 20, 40):
+        sim.run_until(float(checkpoint))
+        estimates = [n.protocol("size-estimator").estimate() for n in nodes]
+        mean = statistics.fmean(estimates)
+        print(f"t={checkpoint:>3}s  mean estimate {mean:8.1f}  "
+              f"(true {args.nodes}, err {abs(mean - args.nodes) / args.nodes:.1%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DataDroplets (DSN 2011) reproduction — demos",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="inventory and experiment index").set_defaults(fn=_cmd_info)
+
+    demo = sub.add_parser("demo", help="end-to-end demo (simulated)")
+    demo.add_argument("-n", "--nodes", type=int, default=60)
+    demo.add_argument("-r", "--replication", type=int, default=4)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(fn=_cmd_demo)
+
+    churn = sub.add_parser("churn", help="availability under churn")
+    churn.add_argument("-n", "--nodes", type=int, default=40)
+    churn.add_argument("-r", "--replication", type=int, default=5)
+    churn.add_argument("--rate", type=float, default=1.0, help="crash events per second")
+    churn.add_argument("--downtime", type=float, default=15.0)
+    churn.add_argument("--duration", type=float, default=60.0)
+    churn.add_argument("--seed", type=int, default=42)
+    churn.set_defaults(fn=_cmd_churn)
+
+    estimate = sub.add_parser("estimate", help="size estimation convergence")
+    estimate.add_argument("-n", "--nodes", type=int, default=200)
+    estimate.add_argument("-k", type=int, default=64)
+    estimate.add_argument("--seed", type=int, default=42)
+    estimate.set_defaults(fn=_cmd_estimate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Wire codec for the asyncio runtime.
+
+Encodes registered :class:`~repro.common.messages.Message` dataclasses as
+JSON. Supports nested dataclasses, :class:`NodeId`, tuples and sets
+(encoded with small type tags so they round-trip exactly). The simulator
+never serializes — it passes message objects by reference — so the codec
+is only on the real-network path and in codec round-trip tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.common.errors import DataDropletsError
+from repro.common.ids import NodeId
+from repro.common.messages import Message, lookup_message_type, lookup_wire_type
+
+_TAG = "__t"  # type tag key used in encoded objects
+
+
+class CodecError(DataDropletsError):
+    """A message could not be encoded or decoded."""
+
+
+class Codec:
+    """Bidirectional JSON codec over the message registry."""
+
+    def encode(self, sender: NodeId, protocol: str, message: Message) -> bytes:
+        """Serialize an envelope (sender, protocol, message) to bytes."""
+        try:
+            envelope = {
+                "sender": _encode_value(sender),
+                "protocol": protocol,
+                "type": message.type_name(),
+                "body": _encode_value(message),
+            }
+            return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot encode {message!r}: {exc}") from exc
+
+    def decode(self, payload: bytes) -> "DecodedEnvelope":
+        """Parse bytes back into (sender, protocol, message)."""
+        try:
+            envelope = json.loads(payload.decode("utf-8"))
+            sender = _decode_value(envelope["sender"])
+            cls = lookup_message_type(envelope["type"])
+            message = _decode_dataclass(cls, envelope["body"])
+            return DecodedEnvelope(sender, envelope["protocol"], message)
+        except CodecError:
+            raise
+        except Exception as exc:  # malformed input from the network
+            raise CodecError(f"cannot decode payload: {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodedEnvelope:
+    sender: NodeId
+    protocol: str
+    message: Message
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, NodeId):
+        return {_TAG: "nid", "v": value.value, "l": value.label}
+    if isinstance(value, Message) or dataclasses.is_dataclass(value):
+        fields = {f.name: _encode_value(getattr(value, f.name)) for f in dataclasses.fields(value)}
+        return {_TAG: "dc", "c": type(value).__name__, "f": fields}
+    if isinstance(value, tuple):
+        return {_TAG: "tup", "v": [_encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {_TAG: "set", "v": [_encode_value(v) for v in sorted(value, key=repr)]}
+    if isinstance(value, dict):
+        return {_TAG: "map", "v": [[_encode_value(k), _encode_value(v)] for k, v in value.items()]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise CodecError(f"unsupported value type: {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get(_TAG)
+    if tag == "nid":
+        return NodeId(value["v"], value["l"])
+    if tag == "tup":
+        return tuple(_decode_value(v) for v in value["v"])
+    if tag == "set":
+        return frozenset(_decode_value(v) for v in value["v"])
+    if tag == "map":
+        return {_decode_value(k): _decode_value(v) for k, v in value["v"]}
+    if tag == "dc":
+        cls = lookup_wire_type(value["c"])
+        return _decode_dataclass(cls, value)
+    raise CodecError(f"unknown encoded object tag: {tag!r}")
+
+
+def _decode_dataclass(cls: type, encoded: Dict[str, Any]) -> Any:
+    fields = encoded["f"]
+    kwargs = {name: _decode_value(v) for name, v in fields.items()}
+    return cls(**kwargs)

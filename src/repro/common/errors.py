@@ -1,0 +1,42 @@
+"""Exception hierarchy for the DataDroplets reproduction.
+
+All library-raised exceptions derive from :class:`DataDropletsError`, so
+callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class DataDropletsError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(DataDropletsError):
+    """An invalid configuration value was supplied."""
+
+
+class NodeDownError(DataDropletsError):
+    """An operation targeted a node that is DOWN or DEAD."""
+
+
+class TimeoutError_(DataDropletsError):
+    """A client-visible operation did not complete within its deadline.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class UnknownMessageError(DataDropletsError):
+    """A message type was not found in the registry (codec/runtime)."""
+
+
+class KeyNotFoundError(DataDropletsError):
+    """A read referenced a key with no live replica reachable."""
+
+
+class CoverageError(DataDropletsError):
+    """A sieve assignment left part of the key space uncovered.
+
+    The paper names full key-space coverage as the *only* correctness
+    requirement of sieve placement; violating it risks silent data loss,
+    so it is surfaced as a hard error."""

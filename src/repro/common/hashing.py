@@ -1,0 +1,128 @@
+"""Stable key hashing and ring arithmetic.
+
+DataDroplets places tuples on a circular key space (the same construction
+Chord and Cassandra use). Both layers rely on it: the soft-state layer
+partitions the space among coordinators, and the persistent layer's
+key-space sieves retain items whose hash falls inside a local arc.
+
+The hash must be stable across processes and Python versions, so we use
+SHA-1 truncated to 64 bits rather than the builtin ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+#: Size of the circular key space: positions are integers in [0, 2**64).
+KEYSPACE_SIZE = 1 << 64
+
+
+def key_hash(key: str) -> int:
+    """Map a string key to a stable position on the ring.
+
+    >>> key_hash("users:1") == key_hash("users:1")
+    True
+    >>> 0 <= key_hash("anything") < KEYSPACE_SIZE
+    True
+    """
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def position_of(value: int) -> float:
+    """Normalise a ring position to [0, 1) — handy for sieve math."""
+    return value / KEYSPACE_SIZE
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ring."""
+    return (b - a) % KEYSPACE_SIZE
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A half-open clockwise arc ``(start, end]`` of the key space.
+
+    Arcs may wrap around zero. The degenerate arc with ``start == end``
+    covers the *whole* ring (matching Chord's convention for a
+    single-node system), never the empty set: an empty responsibility
+    arc would silently drop keys, which violates the paper's coverage
+    correctness requirement.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start < KEYSPACE_SIZE and 0 <= self.end < KEYSPACE_SIZE):
+            raise ValueError(f"arc endpoints out of range: {self.start}, {self.end}")
+
+    def contains(self, position: int) -> bool:
+        """Whether ``position`` lies in the half-open arc ``(start, end]``."""
+        if self.start == self.end:
+            return True
+        return ring_distance(self.start, position) <= ring_distance(self.start, self.end) and position != self.start
+
+    def width(self) -> int:
+        """Number of positions covered (whole ring when start == end)."""
+        if self.start == self.end:
+            return KEYSPACE_SIZE
+        return ring_distance(self.start, self.end)
+
+    def fraction(self) -> float:
+        """Fraction of the key space covered, in (0, 1]."""
+        return self.width() / KEYSPACE_SIZE
+
+    def split(self, parts: int) -> List["Arc"]:
+        """Split the arc into ``parts`` near-equal consecutive sub-arcs."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        width = self.width()
+        bounds = [(self.start + (width * i) // parts) % KEYSPACE_SIZE for i in range(parts + 1)]
+        if self.start == self.end:
+            bounds[-1] = self.start
+        return [Arc(bounds[i], bounds[i + 1]) for i in range(parts)]
+
+
+def arcs_cover_ring(arcs: Iterable[Arc]) -> bool:
+    """Check the paper's correctness requirement: the union of all
+    sieve arcs must cover the full key space (no position may be
+    unclaimed, or writes there would be lost).
+    """
+    return uncovered_fraction(arcs) == 0.0
+
+
+def uncovered_fraction(arcs: Iterable[Arc]) -> float:
+    """Fraction of the ring not covered by any arc (0.0 = full coverage)."""
+    intervals: List[Tuple[int, int]] = []
+    for arc in arcs:
+        if arc.start == arc.end:
+            return 0.0
+        if arc.start < arc.end:
+            intervals.append((arc.start, arc.end))
+        else:  # wraps zero
+            intervals.append((arc.start, KEYSPACE_SIZE))
+            intervals.append((0, arc.end))
+    if not intervals:
+        return 1.0
+    intervals.sort()
+    covered = 0
+    cursor = 0
+    for lo, hi in intervals:
+        lo = max(lo, cursor)
+        if hi > lo:
+            covered += hi - lo
+            cursor = hi
+        cursor = max(cursor, hi)
+    return (KEYSPACE_SIZE - covered) / KEYSPACE_SIZE
+
+
+def equidistant_positions(count: int) -> Iterator[int]:
+    """Yield ``count`` evenly spaced ring positions (for tests/baselines)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    step = KEYSPACE_SIZE // count
+    for i in range(count):
+        yield i * step

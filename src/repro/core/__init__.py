@@ -1,0 +1,15 @@
+"""DataDroplets core: the assembled two-layer key-value substrate."""
+
+from repro.core.config import DataDropletsConfig, IndexSpec
+from repro.core.datadroplets import ClientProtocol, DataDroplets, UnavailableError
+from repro.core.storage import StorageNodeProtocol, make_storage_stack
+
+__all__ = [
+    "ClientProtocol",
+    "DataDroplets",
+    "DataDropletsConfig",
+    "IndexSpec",
+    "StorageNodeProtocol",
+    "UnavailableError",
+    "make_storage_stack",
+]

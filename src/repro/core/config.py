@@ -1,0 +1,132 @@
+"""Configuration of a DataDroplets deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.redundancy.manager import RepairPolicy
+from repro.softstate.coordinator import SoftStateConfig
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A secondary attribute with ordered placement, scans and stats.
+
+    Items are *additionally* replicated into value-ordered placement for
+    each indexed attribute (the paper's "several contending
+    organizations", §III-B2) — expect storage cost ~r per index.
+
+    Attributes:
+        attribute: record field (numeric).
+        lo / hi: value bounds used before a distribution estimate exists
+            and as the histogram domain.
+        bins: histogram resolution.
+    """
+
+    attribute: str
+    lo: float
+    hi: float
+    bins: int = 32
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ConfigurationError(f"index {self.attribute}: need hi > lo")
+        if self.bins <= 0:
+            raise ConfigurationError(f"index {self.attribute}: bins must be positive")
+
+
+@dataclass(frozen=True)
+class DataDropletsConfig:
+    """All tunables of the two-layer system.
+
+    The defaults are sized for simulation experiments of a few hundred
+    storage nodes; see DESIGN.md for how each knob maps to the paper.
+    """
+
+    seed: int = 42
+    n_soft: int = 4
+    n_storage: int = 64
+    replication: int = 4
+
+    # placement
+    collocation: Optional[str] = None  # None | "prefix" | "field:<name>"
+    indexes: Tuple[IndexSpec, ...] = ()
+
+    # dissemination
+    fanout_c: float = 2.0  # adaptive fanout = ceil(ln N_est) + c
+    fixed_fanout: Optional[int] = None  # overrides adaptive when set
+    gossip_mode: str = "infect-and-die"
+    lazy_gossip: bool = False
+
+    # network model
+    latency_low: float = 0.005
+    latency_high: float = 0.05
+    loss_rate: float = 0.0
+
+    # membership
+    view_size: int = 16
+    shuffle_size: int = 8
+    membership_period: float = 1.0
+
+    # estimation
+    size_estimator_k: int = 64
+    size_estimator_period: float = 1.0
+    estimator_epoch: Optional[float] = 30.0
+    pushsum_period: float = 1.0
+
+    # ordered overlays
+    tman_view: int = 8
+    tman_period: float = 1.0
+    # one shared gossip stream for all index orderings instead of one
+    # T-Man instance per attribute (the scalable design of §III-B2 /
+    # experiment E10); scan behaviour is identical.
+    shared_overlays: bool = False
+
+    # redundancy maintenance
+    repair: RepairPolicy = field(default_factory=RepairPolicy)
+    repair_period: float = 10.0  # same-range anti-entropy period
+    # master switch for *active* redundancy repair (census still runs —
+    # aggregates need it — but re-dissemination and same-range
+    # reconciliation are disabled). Ablation knob for experiment E6.
+    repair_enabled: bool = True
+
+    # storage
+    memtable_capacity: Optional[int] = None
+
+    # soft layer
+    soft: SoftStateConfig = field(default_factory=SoftStateConfig)
+    virtual_nodes: int = 16
+    # When True the soft layer runs its own heartbeat failure detector
+    # (repro.softstate.membership) and the facade stops updating ring
+    # aliveness omnisciently; failover then costs a detection window.
+    soft_failure_detection: bool = False
+
+    # client
+    client_timeout: float = 30.0  # virtual seconds per operation
+    client_retries: int = 2  # re-sends after a timed-out request
+
+    def __post_init__(self) -> None:
+        if self.n_soft <= 0 or self.n_storage <= 0:
+            raise ConfigurationError("n_soft and n_storage must be positive")
+        if self.replication <= 0:
+            raise ConfigurationError("replication must be positive")
+        if self.collocation is not None:
+            if self.collocation != "prefix" and not self.collocation.startswith("field:"):
+                raise ConfigurationError(
+                    "collocation must be None, 'prefix' or 'field:<name>'"
+                )
+        if self.fixed_fanout is not None and self.fixed_fanout <= 0:
+            raise ConfigurationError("fixed_fanout must be positive when set")
+        if self.gossip_mode not in ("infect-and-die", "infect-forever"):
+            raise ConfigurationError(f"unknown gossip_mode {self.gossip_mode!r}")
+        seen = set()
+        for index in self.indexes:
+            if index.attribute in seen:
+                raise ConfigurationError(f"duplicate index on {index.attribute!r}")
+            seen.add(index.attribute)
+
+    def with_replication_target(self) -> "DataDropletsConfig":
+        """Copy whose repair policy targets this config's replication."""
+        return replace(self, repair=replace(self.repair, target_replication=self.replication))

@@ -1,0 +1,274 @@
+"""DataDroplets: the assembled two-layer system and its client API.
+
+This is Figure 1 of the paper as a runnable object: a *soft-state layer*
+of coordinator nodes over a structured consistent-hashing ring, and an
+epidemic *persistent-state layer* of storage nodes, all hosted in one
+deterministic simulation. The facade exposes a blocking client API —
+each call injects a request into the simulated network and advances
+virtual time until the reply (or a timeout) arrives, so library users
+interact with a distributed system as if it were a dict:
+
+    dd = DataDroplets(DataDropletsConfig(n_storage=100))
+    dd.start()
+    dd.put("users:1", {"name": "ada", "age": 36})
+    dd.get("users:1")            # -> {'name': 'ada', 'age': 36}
+
+Experiments reach below the facade: ``dd.storage``, ``dd.soft`` (the
+clusters), ``dd.churn()``, ``dd.metrics`` are all public on purpose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import DataDropletsError, TimeoutError_
+from repro.common.ids import NodeId
+from repro.common.messages import Message
+from repro.core.config import DataDropletsConfig
+from repro.core.storage import make_storage_stack
+from repro.sim.churn import PoissonChurn
+from repro.sim.cluster import Cluster
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network, UniformLatency
+from repro.sim.node import Node, NodeState, Protocol
+from repro.sim.simulator import Simulation
+from repro.softstate.coordinator import SoftStateProtocol
+from repro.softstate.messages import (
+    ClientAggregate,
+    ClientDelete,
+    ClientGet,
+    ClientMultiGet,
+    ClientPut,
+    ClientReply,
+    ClientScan,
+)
+from repro.softstate.ring import ConsistentHashRing
+
+
+class ClientProtocol(Protocol):
+    """Collects ClientReply messages for the facade."""
+
+    name = "client"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.replies: Dict[str, ClientReply] = {}
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, ClientReply):
+            self.replies[message.request_id] = message
+
+
+class UnavailableError(DataDropletsError):
+    """The operation failed at the coordinator (e.g. data unreachable)."""
+
+
+class DataDroplets:
+    """The full system: build, start, operate (see module docstring)."""
+
+    def __init__(self, config: Optional[DataDropletsConfig] = None):
+        self.config = (config if config is not None else DataDropletsConfig()).with_replication_target()
+        self.sim = Simulation(seed=self.config.seed)
+        network = Network(
+            self.sim,
+            latency=UniformLatency(self.config.latency_low, self.config.latency_high),
+            loss_rate=self.config.loss_rate,
+        )
+        # One cluster, one network: soft, storage and client nodes all
+        # share the fabric (ids are dense across all of them).
+        self.cluster = Cluster(self.sim, network=network)
+        self.ring = ConsistentHashRing(self.config.virtual_nodes)
+        self._request_seq = itertools.count()
+
+        self.storage_nodes: List[Node] = self.cluster.add_nodes(
+            self.config.n_storage, make_storage_stack(self.config), label_prefix="storage-", boot=False
+        )
+        self.soft_nodes: List[Node] = self.cluster.add_nodes(
+            self.config.n_soft, self._soft_stack, label_prefix="soft-", boot=False
+        )
+        self.client_node: Node = self.cluster.add_node(
+            lambda node: [ClientProtocol()], label="client", boot=False
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _soft_stack(self, node: Node) -> Sequence[Protocol]:
+        stack: List[Protocol] = [
+            SoftStateProtocol(
+                ring=self.ring,
+                storage_directory=self._storage_directory,
+                config=self.config.soft,
+            )
+        ]
+        if self.config.soft_failure_detection:
+            from repro.softstate.membership import SoftMembership
+
+            stack.append(SoftMembership(self.ring))
+        return stack
+
+    def _storage_directory(self) -> List[NodeId]:
+        return [n.node_id for n in self.storage_nodes if n.is_up]
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.cluster.metrics
+
+    def start(self, warmup: float = 15.0) -> "DataDroplets":
+        """Boot both layers, seed membership, converge estimators.
+
+        ``warmup`` seconds of virtual time let the PSS mix and the size
+        estimator converge before traffic arrives (a real deployment's
+        steady state)."""
+        if self._started:
+            return self
+        for node in self.storage_nodes:
+            node.boot()
+        view = min(self.config.view_size, max(1, self.config.n_storage - 1))
+        for node in self.storage_nodes:
+            peers = [
+                n.node_id
+                for n in self.sim.rng("bootstrap").sample(self.storage_nodes, min(len(self.storage_nodes), view + 1))
+                if n.node_id != node.node_id
+            ][:view]
+            node.protocol("membership").seed(peers)
+        for node in self.soft_nodes:
+            node.boot()
+            self.ring.add(node.node_id)
+        self.client_node.boot()
+        self._started = True
+        if warmup > 0:
+            self.sim.run_for(warmup)
+        return self
+
+    # ------------------------------------------------------------------
+    # time control & fault injection
+    # ------------------------------------------------------------------
+    def run_for(self, seconds: float) -> None:
+        """Advance virtual time (protocols keep running)."""
+        self.sim.run_for(seconds)
+
+    def churn(
+        self,
+        event_rate: float,
+        mean_downtime: float = 30.0,
+        permanent_fraction: float = 0.0,
+        storage_only: bool = True,
+    ) -> PoissonChurn:
+        """Attach a churn process to the storage population.
+
+        With ``storage_only`` (default) the soft layer and client are
+        spared — matching the paper, which churns the big persistent
+        layer and keeps the moderate soft layer stable."""
+        if storage_only:
+            members = list(self.storage_nodes)
+        else:
+            members = list(self.storage_nodes) + list(self.soft_nodes)
+        target = Cluster.view_of(self.sim, self.cluster.network, members)
+        return PoissonChurn(
+            self.sim,
+            target,
+            event_rate=event_rate,
+            mean_downtime=mean_downtime,
+            permanent_fraction=permanent_fraction,
+        )
+
+    def crash_soft_layer(self, fraction: float = 1.0) -> List[Node]:
+        """Catastrophic soft-state failure (experiment E13)."""
+        count = max(1, int(round(len(self.soft_nodes) * fraction)))
+        victims = self.soft_nodes[:count]
+        for node in victims:
+            if node.is_up:
+                node.crash(permanent=False)
+        return victims
+
+    def recover_soft_layer(self, rebuild: bool = True) -> None:
+        for node in self.soft_nodes:
+            if node.state is NodeState.DOWN:
+                node.boot()
+                if rebuild:
+                    node.protocol("soft").rebuild_metadata()
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def put(self, key: str, record: Dict[str, Any]) -> Dict[str, int]:
+        """Write a record; returns the assigned version."""
+        reply = self._call(key, lambda rid: ClientPut(rid, key, dict(record)))
+        return reply.value
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read a record (None if absent or deleted)."""
+        reply = self._call(key, lambda rid: ClientGet(rid, key))
+        return reply.value
+
+    def delete(self, key: str) -> None:
+        self._call(key, lambda rid: ClientDelete(rid, key))
+
+    def multi_get(self, keys: Sequence[str]) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Read several records in one coordinator round-trip.
+
+        All keys are served by the coordinator of the *first* key, which
+        batches persistent-layer requests per storage hint — the
+        operation correlation-aware placement accelerates (E12)."""
+        if not keys:
+            return {}
+        reply = self._call(keys[0], lambda rid: ClientMultiGet(rid, tuple(keys)))
+        return reply.value
+
+    def scan(self, attribute: str, low: float, high: float) -> List[Dict[str, Any]]:
+        """Range scan over an indexed attribute (rows sorted by value)."""
+        reply = self._call(
+            f"scan:{attribute}", lambda rid: ClientScan(rid, attribute, low, high)
+        )
+        return reply.value
+
+    def aggregate(self, attribute: str, kind: str = "avg") -> float:
+        """Global aggregate (avg | sum | count | max | min)."""
+        reply = self._call(
+            f"agg:{attribute}:{kind}", lambda rid: ClientAggregate(rid, attribute, kind)
+        )
+        return reply.value
+
+    # ------------------------------------------------------------------
+    def _call(self, routing_key: str, build) -> ClientReply:
+        if not self._started:
+            raise DataDropletsError("call start() before issuing operations")
+        # Requests or replies can be lost on a lossy network; clients
+        # retry with a fresh request id (operations are idempotent at
+        # the coordinator: re-puts take the next version, reads are pure).
+        attempts = 1 + max(0, self.config.client_retries)
+        last_error: Exception = UnavailableError("no live soft-state coordinator")
+        for _ in range(attempts):
+            self._refresh_ring()
+            coordinator = self.ring.coordinator_for(routing_key)
+            if coordinator is None:
+                raise UnavailableError("no live soft-state coordinator")
+            request_id = f"req-{next(self._request_seq)}"
+            message = build(request_id)
+            self.sim.call_soon(lambda m=message, c=coordinator: self.client_node.send(c, "soft", m))
+            try:
+                reply = self._await_reply(request_id)
+            except TimeoutError_ as exc:
+                last_error = exc
+                continue
+            if not reply.ok:
+                raise UnavailableError(reply.error or "operation failed")
+            return reply
+        raise last_error
+
+    def _await_reply(self, request_id: str) -> ClientReply:
+        client: ClientProtocol = self.client_node.protocol("client")  # type: ignore[assignment]
+        deadline = self.sim.now + self.config.client_timeout
+        while request_id not in client.replies:
+            if self.sim.now >= deadline or not self.sim.step():
+                raise TimeoutError_(f"no reply to {request_id} after {self.config.client_timeout}s")
+        return client.replies.pop(request_id)
+
+    def _refresh_ring(self) -> None:
+        if self.config.soft_failure_detection:
+            return  # the soft layer's own failure detector owns aliveness
+        for node in self.soft_nodes:
+            self.ring.set_alive(node.node_id, node.is_up)

@@ -1,0 +1,134 @@
+"""Analytical model of epidemic dissemination (paper §III-A).
+
+The paper's quantitative anchor is the classical Erdős–Rényi connectivity
+result used by lightweight probabilistic broadcast: if every infected
+node relays a message to ``ln(N) + c`` uniformly random peers, the
+probability that *all* N nodes are reached (atomic infection) converges
+to::
+
+    p_atomic = exp(-exp(-c))
+
+For N = 50 000 and p_atomic = 0.999 the paper derives c ≈ 7 and a fanout
+of ``ln(50 000) + 7 ≈ 18``. Experiment E1 checks both the algebra here
+and its agreement with simulation.
+
+This module also provides the standard fixed-point for *partial*
+coverage of push gossip with sub-critical fanout, used by E2 for the
+atomic-vs-partial dissemination trade-off (claim C2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def atomic_infection_probability(c: float) -> float:
+    """p_atomic = exp(-exp(-c)) — probability of reaching all nodes
+    when the per-node fanout is ln(N) + c."""
+    return math.exp(-math.exp(-c))
+
+
+def c_for_probability(p_atomic: float) -> float:
+    """Invert :func:`atomic_infection_probability` (0 < p < 1)."""
+    if not 0 < p_atomic < 1:
+        raise ValueError("p_atomic must be strictly between 0 and 1")
+    return -math.log(-math.log(p_atomic))
+
+
+def fanout_for_atomic(n_nodes: int, p_atomic: float = 0.999) -> int:
+    """Per-node relay count needed for atomic infection w.h.p.
+
+    >>> fanout_for_atomic(50_000, 0.999)
+    18
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    return math.ceil(math.log(n_nodes) + c_for_probability(p_atomic))
+
+
+def expected_coverage(fanout: float, tolerance: float = 1e-12) -> float:
+    """Asymptotic fraction of nodes reached by push gossip with the given
+    mean fanout, from the fixed point pi = 1 - exp(-fanout * pi).
+
+    Below fanout 1 the epidemic dies out (pi = 0); above it, the unique
+    positive root is found by iteration (it is a contraction there).
+    """
+    if fanout < 0:
+        raise ValueError("fanout must be non-negative")
+    if fanout <= 1.0:
+        return 0.0
+    pi = 1.0 - 1e-6
+    for _ in range(10_000):
+        nxt = 1.0 - math.exp(-fanout * pi)
+        if abs(nxt - pi) < tolerance:
+            return nxt
+        pi = nxt
+    return pi
+
+
+def fanout_for_coverage(coverage: float) -> float:
+    """Mean fanout whose fixed-point coverage equals ``coverage``.
+
+    Inverts pi = 1 - exp(-f*pi): f = -ln(1 - pi) / pi.
+    """
+    if not 0 < coverage < 1:
+        raise ValueError("coverage must be strictly between 0 and 1")
+    return -math.log(1.0 - coverage) / coverage
+
+
+def replica_success_probability(coverage: float, n_nodes: int, replication: int) -> float:
+    """P(an item ends with >= ``replication`` stored copies | coverage).
+
+    With the uniform sieve each node keeps the item with probability
+    r/N *independently*, but only nodes actually reached can store it.
+    The number of stored copies is Binomial(coverage*N, r/N) ≈
+    Poisson(coverage * r); this returns P(X >= r) under the Poisson
+    approximation — the quantitative form of claim C2 ("reaching a
+    proportion of the system that covers the required replicas").
+    """
+    if n_nodes <= 0 or replication <= 0:
+        raise ValueError("n_nodes and replication must be positive")
+    if not 0 <= coverage <= 1:
+        raise ValueError("coverage must be in [0, 1]")
+    lam = coverage * replication
+    # P(X >= r) = 1 - sum_{k<r} e^-lam lam^k / k!
+    acc = 0.0
+    term = math.exp(-lam)
+    for k in range(replication):
+        acc += term
+        term *= lam / (k + 1)
+    return max(0.0, 1.0 - acc)
+
+
+def messages_per_broadcast(n_nodes: int, fanout: float) -> float:
+    """Expected relayed copies for one broadcast: every reached node
+    relays ``fanout`` copies under infect-and-die."""
+    return expected_coverage(fanout) * n_nodes * fanout
+
+
+@dataclass(frozen=True)
+class FanoutTableRow:
+    """One row of the E1 fanout table."""
+
+    n_nodes: int
+    c: float
+    fanout: int
+    p_atomic: float
+
+
+def fanout_table(sizes: Sequence[int], cs: Sequence[float]) -> List[FanoutTableRow]:
+    """The paper's ln(N)+c arithmetic over a grid of N and c (E1)."""
+    rows = []
+    for n in sizes:
+        for c in cs:
+            rows.append(
+                FanoutTableRow(
+                    n_nodes=n,
+                    c=c,
+                    fanout=math.ceil(math.log(n) + c),
+                    p_atomic=atomic_infection_probability(c),
+                )
+            )
+    return rows

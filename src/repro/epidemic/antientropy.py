@@ -1,0 +1,186 @@
+"""Anti-entropy: periodic pairwise digest reconciliation.
+
+Eager/lazy push spreads *new* items fast but probabilistically; anti-
+entropy is the slow, certain repair channel that reconciles whatever
+push missed (the combination is the Bimodal Multicast recipe [21]).
+The persistent-state layer also reuses this machinery for redundancy
+restoration between nodes responsible for the same sieve range (§III-A).
+
+The protocol is generic over an :class:`AntiEntropyStore` adapter so the
+same code reconciles gossip caches, storage memtables, or anything
+versioned by (item id, monotone version).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.membership.views import PeerSampler
+from repro.sim.node import Protocol
+
+#: (item_id, version, payload)
+VersionedItem = Tuple[str, int, Any]
+
+
+class AntiEntropyStore(ABC):
+    """Adapter between anti-entropy and a versioned local store."""
+
+    @abstractmethod
+    def digest(self) -> Dict[str, int]:
+        """Complete map of item_id -> version this node holds
+        (within whatever scope this store chooses to reconcile)."""
+
+    @abstractmethod
+    def fetch(self, item_ids: Iterable[str]) -> List[VersionedItem]:
+        """Return the requested items (silently skipping unknown ids)."""
+
+    @abstractmethod
+    def apply(self, items: Iterable[VersionedItem]) -> int:
+        """Merge incoming items (last-writer-wins by version); return
+        how many actually changed local state."""
+
+
+@message_type
+@dataclass(frozen=True)
+class DigestMessage(Message):
+    entries: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+    is_reply: bool = False
+
+
+@message_type
+@dataclass(frozen=True)
+class ItemsRequest(Message):
+    item_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@message_type
+@dataclass(frozen=True)
+class ItemsPush(Message):
+    items: Tuple[VersionedItem, ...] = field(default_factory=tuple)
+
+
+class AntiEntropy(Protocol):
+    """Periodic push-pull reconciliation with one random peer.
+
+    Args:
+        store: versioned store adapter.
+        period: seconds between reconciliation rounds.
+        membership: sibling PeerSampler protocol name.
+        max_digest: cap on digest entries shipped per round (bandwidth
+            guard for huge stores; a random cover is sent each round).
+    """
+
+    name = "anti-entropy"
+
+    def __init__(
+        self,
+        store: AntiEntropyStore,
+        period: float = 5.0,
+        membership: str = "membership",
+        max_digest: Optional[int] = None,
+    ):
+        super().__init__()
+        self.store = store
+        self.period = period
+        self.membership = membership
+        self.max_digest = max_digest
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._timer = self.every(self.period, self.run_round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    def select_peer(self) -> Optional[NodeId]:
+        """Peer choice for this round (subclasses may bias it, e.g. to
+        same-sieve-range nodes for redundancy repair)."""
+        peers = self._sampler().sample_peers(1)
+        return peers[0] if peers else None
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> None:
+        peer = self.select_peer()
+        if peer is None:
+            return
+        self.send(peer, DigestMessage(self._digest_entries(), is_reply=False))
+        self.host.metrics.counter("antientropy.rounds").inc()
+
+    def _digest_entries(self) -> Tuple[Tuple[str, int], ...]:
+        digest = self.store.digest()
+        entries = sorted(digest.items())
+        if self.max_digest is not None and len(entries) > self.max_digest:
+            entries = self.host.rng.sample(entries, self.max_digest)
+        return tuple(entries)
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, DigestMessage):
+            self._reconcile(sender, dict(message.entries), message.is_reply)
+        elif isinstance(message, ItemsRequest):
+            items = self.store.fetch(message.item_ids)
+            if items:
+                self.send(sender, ItemsPush(tuple(items)))
+        elif isinstance(message, ItemsPush):
+            applied = self.store.apply(message.items)
+            self.host.metrics.counter("antientropy.items_applied").inc(applied)
+        else:
+            self.host.metrics.counter("antientropy.unexpected_message").inc()
+
+    def _reconcile(self, sender: NodeId, remote: Dict[str, int], is_reply: bool) -> None:
+        local = self.store.digest()
+        missing_here = [i for i, v in remote.items() if local.get(i, -1) < v]
+        # Only treat the remote digest as complete when it was not
+        # truncated; otherwise we cannot infer what the peer lacks from
+        # absence alone, and pushing everything would defeat the cap.
+        if self.max_digest is None or len(remote) < self.max_digest:
+            newer_here = [i for i, v in local.items() if remote.get(i, -1) < v]
+        else:
+            newer_here = [i for i, v in remote.items() if local.get(i, -1) > v]
+        if missing_here:
+            self.send(sender, ItemsRequest(tuple(missing_here)))
+        if newer_here:
+            self.send(sender, ItemsPush(tuple(self.store.fetch(newer_here))))
+        if not is_reply:
+            self.send(sender, DigestMessage(self._digest_entries(), is_reply=True))
+
+
+class DictStore(AntiEntropyStore):
+    """Trivial in-memory AntiEntropyStore used by tests and examples."""
+
+    def __init__(self) -> None:
+        self.items: Dict[str, Tuple[int, Any]] = {}
+
+    def put(self, item_id: str, version: int, payload: Any) -> None:
+        current = self.items.get(item_id)
+        if current is None or version > current[0]:
+            self.items[item_id] = (version, payload)
+
+    def digest(self) -> Dict[str, int]:
+        return {i: v for i, (v, _) in self.items.items()}
+
+    def fetch(self, item_ids: Iterable[str]) -> List[VersionedItem]:
+        out = []
+        for item_id in item_ids:
+            held = self.items.get(item_id)
+            if held is not None:
+                out.append((item_id, held[0], held[1]))
+        return out
+
+    def apply(self, items: Iterable[VersionedItem]) -> int:
+        changed = 0
+        for item_id, version, payload in items:
+            current = self.items.get(item_id)
+            if current is None or version > current[0]:
+                self.items[item_id] = (version, payload)
+                changed += 1
+        return changed

@@ -1,0 +1,165 @@
+"""Bimodal Multicast / pbcast (paper ref [21], Birman et al.).
+
+The two-phase dissemination recipe the paper's reliability story leans
+on: an *optimistic* eager-push phase delivers to almost everyone almost
+immediately, and a *pessimistic* anti-entropy phase (periodic digest
+exchange of recently seen message ids) deterministically closes the
+gap. The result is the "bimodal" delivery distribution: either almost
+nobody (the broadcast died instantly) or almost everybody — and with
+the repair phase, everybody.
+
+Implemented as one protocol composing the library's eager push with an
+id-digest anti-entropy specialised for recent broadcasts (the generic
+:class:`~repro.epidemic.antientropy.AntiEntropy` reconciles *stores*;
+this one reconciles the gossip horizon itself).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.epidemic.eager import DeliverFn, FanoutSpec
+from repro.membership.views import PeerSampler
+from repro.sim.node import Protocol
+
+
+@message_type
+@dataclass(frozen=True)
+class PbcastData(Message):
+    item_id: str
+    payload: Any
+    hops: int = 0
+
+
+@message_type
+@dataclass(frozen=True)
+class PbcastDigest(Message):
+    """Ids seen recently (the pessimistic phase's gossip)."""
+
+    item_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+
+@message_type
+@dataclass(frozen=True)
+class PbcastSolicit(Message):
+    """Retransmission request for missed ids."""
+
+    item_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class BimodalMulticast(Protocol):
+    """Eager push + periodic digest repair, one protocol.
+
+    Args:
+        fanout: eager-phase relay count (can stay *below* the atomic
+            threshold — that is the point: anti-entropy finishes the job).
+        digest_period: seconds between pessimistic rounds.
+        digest_fanout: peers receiving each digest.
+        horizon: how many recent items the digest advertises.
+    """
+
+    name = "gossip"  # drop-in replacement for EagerGossip
+
+    def __init__(
+        self,
+        fanout: FanoutSpec = 4,
+        digest_period: float = 2.0,
+        digest_fanout: int = 1,
+        horizon: int = 256,
+        membership: str = "membership",
+        seen_capacity: int = 100_000,
+    ):
+        super().__init__()
+        self.fanout = fanout
+        self.digest_period = digest_period
+        self.digest_fanout = digest_fanout
+        self.horizon = horizon
+        self.membership = membership
+        self.seen_capacity = seen_capacity
+        self._items: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._recent: "OrderedDict[str, None]" = OrderedDict()
+        self._subscribers: List[DeliverFn] = []
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._items = OrderedDict()
+        self._recent = OrderedDict()
+        self._timer = self.every(self.digest_period, self._digest_round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def subscribe(self, callback: DeliverFn) -> None:
+        self._subscribers.append(callback)
+
+    def has_seen(self, item_id: str) -> bool:
+        return item_id in self._items
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    def _current_fanout(self) -> int:
+        if callable(self.fanout):
+            return max(0, int(self.fanout()))
+        return self.fanout
+
+    # ------------------------------------------------------------------
+    # optimistic phase
+    # ------------------------------------------------------------------
+    def broadcast(self, item_id: str, payload: Any) -> None:
+        self._deliver(item_id, payload, hops=0, relay=True)
+
+    def _deliver(self, item_id: str, payload: Any, hops: int, relay: bool) -> None:
+        if item_id in self._items:
+            self.host.metrics.counter("gossip.duplicates").inc()
+            return
+        self._items[item_id] = (payload, hops)
+        while len(self._items) > self.seen_capacity:
+            self._items.popitem(last=False)
+        self._recent[item_id] = None
+        while len(self._recent) > self.horizon:
+            self._recent.popitem(last=False)
+        for deliver in self._subscribers:
+            deliver(item_id, payload, hops)
+        self.host.metrics.counter("gossip.delivered").inc()
+        if relay:
+            relayed = PbcastData(item_id, payload, hops + 1)
+            peers = self._sampler().sample_peers(self._current_fanout())
+            for peer in peers:
+                self.send(peer, relayed)
+            self.host.metrics.counter("gossip.relayed").inc(len(peers))
+
+    # ------------------------------------------------------------------
+    # pessimistic phase
+    # ------------------------------------------------------------------
+    def _digest_round(self) -> None:
+        if not self._recent:
+            return
+        digest = PbcastDigest(tuple(self._recent.keys()))
+        for peer in self._sampler().sample_peers(self.digest_fanout):
+            self.send(peer, digest)
+        self.host.metrics.counter("pbcast.digests").inc()
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, PbcastData):
+            self._deliver(message.item_id, message.payload, message.hops, relay=True)
+        elif isinstance(message, PbcastDigest):
+            missing = tuple(i for i in message.item_ids if i not in self._items)
+            if missing:
+                self.send(sender, PbcastSolicit(missing))
+                self.host.metrics.counter("pbcast.solicits").inc(len(missing))
+        elif isinstance(message, PbcastSolicit):
+            for item_id in message.item_ids:
+                held = self._items.get(item_id)
+                if held is not None:
+                    payload, hops = held
+                    # retransmission does not re-trigger the eager phase
+                    self.send(sender, PbcastData(item_id, payload, hops))
+        else:
+            self.host.metrics.counter("pbcast.unexpected_message").inc()

@@ -1,0 +1,37 @@
+"""Epidemic estimation substrates: size, aggregates, distributions.
+
+These are the "basic distributed computations" the paper builds on
+(§III-A estimation of N for sieves, §III-B1 distribution estimation for
+smart sieves and ordering, §III-C aggregates exposed to clients).
+"""
+
+from repro.estimation.extrema import ExtremaExchange, ExtremaSizeEstimator
+from repro.estimation.histogram import (
+    DistributionEstimate,
+    HistogramEstimator,
+    HistogramShare,
+    ValueSource,
+    WeightFn,
+    empirical_distribution,
+)
+from repro.estimation.pushsum import (
+    ExtremeAggregator,
+    ExtremeShare,
+    PushSumProtocol,
+    PushSumShare,
+)
+
+__all__ = [
+    "DistributionEstimate",
+    "ExtremaExchange",
+    "ExtremaSizeEstimator",
+    "ExtremeAggregator",
+    "ExtremeShare",
+    "HistogramEstimator",
+    "HistogramShare",
+    "PushSumProtocol",
+    "PushSumShare",
+    "ValueSource",
+    "WeightFn",
+    "empirical_distribution",
+]

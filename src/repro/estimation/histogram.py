@@ -1,0 +1,252 @@
+"""Decentralised distribution estimation (paper refs [26], [27]).
+
+Nodes estimate the *distribution of stored item values* for an
+attribute, which powers two of the paper's mechanisms:
+
+* distribution-aware sieves — finer grain where item density is high
+  (§III-B1), and
+* item/node ordering — mapping a value to its quantile position gives
+  every node a consistent coordinate for T-Man ordering (§III-B2).
+
+Mechanism: each node builds a local equi-width histogram of the values
+it stores and the histograms are *averaged* by vector push-sum. The
+normalised average is an estimate of the global value distribution.
+
+The paper explicitly flags two hazards of this setting (claim C7):
+
+* **duplicates** — replication means a tuple is counted once per
+  replica, so non-uniform replication skews the estimate. The
+  ``weight_fn`` hook lets callers down-weight items by their (estimated)
+  replication degree; E8 ablates naive vs corrected.
+* **churn** — handled with epoch restarts like the other estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.membership.views import PeerSampler
+from repro.sim.node import Protocol
+
+#: Yields (item_id, value) pairs for locally stored items.
+ValueSource = Callable[[], Iterable[Tuple[str, float]]]
+
+#: Optional per-item weight (e.g. 1/replication_estimate for dedup).
+WeightFn = Callable[[str], float]
+
+
+@message_type
+@dataclass(frozen=True)
+class HistogramShare(Message):
+    instance: str
+    epoch: int
+    bins: Tuple[float, ...]
+    weight_part: float
+
+
+@dataclass(frozen=True)
+class DistributionEstimate:
+    """A normalised histogram over [lo, hi) with equal-width bins."""
+
+    lo: float
+    hi: float
+    densities: Tuple[float, ...]  # sums to ~1 (all-zero when unknown)
+
+    @property
+    def bins(self) -> int:
+        return len(self.densities)
+
+    def bin_edges(self) -> List[float]:
+        width = (self.hi - self.lo) / self.bins
+        return [self.lo + i * width for i in range(self.bins + 1)]
+
+    def cdf(self, value: float) -> float:
+        """P(X <= value) under the estimated distribution."""
+        if value <= self.lo:
+            return 0.0
+        if value >= self.hi:
+            return 1.0
+        width = (self.hi - self.lo) / self.bins
+        idx = int((value - self.lo) / width)
+        frac = (value - (self.lo + idx * width)) / width
+        return sum(self.densities[:idx]) + self.densities[idx] * frac
+
+    def quantile(self, q: float) -> float:
+        """Smallest value v with cdf(v) >= q."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        width = (self.hi - self.lo) / self.bins
+        acc = 0.0
+        for i, density in enumerate(self.densities):
+            if acc + density >= q:
+                if density <= 0:
+                    return self.lo + i * width
+                frac = (q - acc) / density
+                return self.lo + (i + frac) * width
+            acc += density
+        return self.hi
+
+    def equi_depth_boundaries(self, parts: int) -> List[float]:
+        """Boundaries splitting the mass into ``parts`` equal shares —
+        the construction behind distribution-aware sieves."""
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        return [self.quantile(i / parts) for i in range(1, parts)]
+
+    def ks_distance(self, reference_cdf: Callable[[float], float], samples: int = 512) -> float:
+        """Kolmogorov–Smirnov distance against a reference CDF."""
+        worst = 0.0
+        for i in range(samples + 1):
+            v = self.lo + (self.hi - self.lo) * i / samples
+            worst = max(worst, abs(self.cdf(v) - reference_cdf(v)))
+        return worst
+
+
+def empirical_distribution(values: Sequence[float], lo: float, hi: float, bins: int) -> DistributionEstimate:
+    """Exact histogram of ``values`` — the centralised reference that
+    benchmarks compare the gossip estimate against."""
+    counts = [0.0] * bins
+    width = (hi - lo) / bins
+    total = 0
+    for v in values:
+        if lo <= v < hi:
+            counts[min(bins - 1, int((v - lo) / width))] += 1
+            total += 1
+        elif v == hi:
+            counts[-1] += 1
+            total += 1
+    if total == 0:
+        return DistributionEstimate(lo, hi, tuple(counts))
+    return DistributionEstimate(lo, hi, tuple(c / total for c in counts))
+
+
+class HistogramEstimator(Protocol):
+    """Gossip histogram averaging via vector push-sum.
+
+    Args:
+        instance: attribute name (also names the protocol).
+        value_source: yields (item_id, value) for local items; sampled
+            at each epoch start.
+        lo / hi / bins: histogram domain and resolution.
+        weight_fn: per-item weight for duplicate correction (C7); the
+            naive estimator uses weight 1 for every replica.
+    """
+
+    def __init__(
+        self,
+        instance: str,
+        value_source: ValueSource,
+        lo: float,
+        hi: float,
+        bins: int = 32,
+        weight_fn: Optional[WeightFn] = None,
+        period: float = 1.0,
+        epoch_length: Optional[float] = None,
+        membership: str = "membership",
+    ):
+        super().__init__()
+        if hi <= lo:
+            raise ValueError("need hi > lo")
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        self.name = f"histogram:{instance}"
+        self.instance = instance
+        self.value_source = value_source
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.weight_fn = weight_fn
+        self.period = period
+        self.epoch_length = epoch_length
+        self.membership = membership
+        self._epoch = 0
+        self._vector: List[float] = [0.0] * bins
+        self._weight = 0.0
+        self._last: Optional[DistributionEstimate] = None
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._epoch = self._current_epoch()
+        self._reset()
+        self._timer = self.every(self.period, self._round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _current_epoch(self) -> int:
+        if self.epoch_length is None:
+            return 0
+        return int(self.host.now / self.epoch_length)
+
+    def _reset(self) -> None:
+        vector = [0.0] * self.bins
+        width = (self.hi - self.lo) / self.bins
+        for item_id, value in self.value_source():
+            if not self.lo <= value <= self.hi:
+                continue
+            idx = min(self.bins - 1, int((value - self.lo) / width))
+            weight = 1.0 if self.weight_fn is None else self.weight_fn(item_id)
+            vector[idx] += weight
+        self._vector = vector
+        self._weight = 1.0
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        self._maybe_advance_epoch()
+        peers = self._sampler().sample_peers(1)
+        if not peers:
+            return
+        self._vector = [v / 2.0 for v in self._vector]
+        self._weight /= 2.0
+        self.send(
+            peers[0],
+            HistogramShare(self.instance, self._epoch, tuple(self._vector), self._weight),
+        )
+        self.host.metrics.counter("histogram.rounds").inc()
+
+    def _maybe_advance_epoch(self) -> None:
+        epoch = self._current_epoch()
+        if epoch > self._epoch:
+            self._last = self._normalise()
+            self._epoch = epoch
+            self._reset()
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if not isinstance(message, HistogramShare):
+            self.host.metrics.counter("histogram.unexpected_message").inc()
+            return
+        self._maybe_advance_epoch()
+        if message.epoch < self._epoch:
+            return
+        if message.epoch > self._epoch:
+            self._last = self._normalise()
+            self._epoch = message.epoch
+            self._reset()
+        self._vector = [a + b for a, b in zip(self._vector, message.bins)]
+        self._weight += message.weight_part
+
+    # ------------------------------------------------------------------
+    def _normalise(self) -> Optional[DistributionEstimate]:
+        total = sum(self._vector)
+        if total <= 0:
+            return None
+        return DistributionEstimate(self.lo, self.hi, tuple(v / total for v in self._vector))
+
+    def estimate(self) -> Optional[DistributionEstimate]:
+        """Current best distribution estimate (None until any data seen)."""
+        current = self._normalise()
+        if current is None:
+            return self._last
+        if self._last is not None and self.epoch_length is not None:
+            progress = (self.host.now % self.epoch_length) / self.epoch_length
+            if progress < 0.25:
+                return self._last
+        return current

@@ -1,0 +1,217 @@
+"""Push-sum gossip aggregation (paper ref [37], Jelasity et al. style).
+
+Each node holds a (sum, weight) pair initialised to (local value, 1).
+Every round it keeps half of both and pushes the other half to a random
+peer; sum/weight converges exponentially fast to the global average at
+every node. From the average, count/sum are recovered with a size
+estimate (or by electing one node to hold weight 1).
+
+Like the size estimator, dynamism is handled by epoch restarts: mass
+lost to crashed nodes or dropped messages corrupts a single epoch only.
+The paper's §III-C observes that these aggregates are the basis of the
+data-processing story — we expose them through the client API.
+
+For maximum/minimum the library uses :class:`ExtremeAggregator`, a
+monotone-merge gossip that is trivially churn- and duplicate-proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.membership.views import PeerSampler
+from repro.sim.node import Protocol
+
+
+@message_type
+@dataclass(frozen=True)
+class PushSumShare(Message):
+    instance: str
+    epoch: int
+    sum_part: float
+    weight_part: float
+
+
+class PushSumProtocol(Protocol):
+    """Average a node-local quantity across the system.
+
+    Args:
+        instance: name suffix; lets several aggregations coexist on one
+            node (each is its own protocol instance).
+        value_fn: returns this node's current local value; sampled at
+            the start of each epoch.
+        period: gossip period.
+        epoch_length: restart grid (None = run a single computation).
+    """
+
+    def __init__(
+        self,
+        instance: str,
+        value_fn: Callable[[], float],
+        period: float = 1.0,
+        epoch_length: Optional[float] = None,
+        membership: str = "membership",
+    ):
+        super().__init__()
+        self.name = f"push-sum:{instance}"
+        self.instance = instance
+        self.value_fn = value_fn
+        self.period = period
+        self.epoch_length = epoch_length
+        self.membership = membership
+        self._epoch = 0
+        self._sum = 0.0
+        self._weight = 0.0
+        self._last_average: Optional[float] = None
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._epoch = self._current_epoch()
+        self._reset()
+        self._timer = self.every(self.period, self._round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _current_epoch(self) -> int:
+        if self.epoch_length is None:
+            return 0
+        return int(self.host.now / self.epoch_length)
+
+    def _reset(self) -> None:
+        self._sum = float(self.value_fn())
+        self._weight = 1.0
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        self._maybe_advance_epoch()
+        peers = self._sampler().sample_peers(1)
+        if not peers:
+            return
+        self._sum /= 2.0
+        self._weight /= 2.0
+        self.send(peers[0], PushSumShare(self.instance, self._epoch, self._sum, self._weight))
+        self.host.metrics.counter("pushsum.rounds").inc()
+
+    def _maybe_advance_epoch(self) -> None:
+        epoch = self._current_epoch()
+        if epoch > self._epoch:
+            if self._weight > 0:
+                self._last_average = self._sum / self._weight
+            self._epoch = epoch
+            self._reset()
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if not isinstance(message, PushSumShare):
+            self.host.metrics.counter("pushsum.unexpected_message").inc()
+            return
+        self._maybe_advance_epoch()
+        if message.epoch < self._epoch:
+            return
+        if message.epoch > self._epoch:
+            if self._weight > 0:
+                self._last_average = self._sum / self._weight
+            self._epoch = message.epoch
+            self._reset()
+        self._sum += message.sum_part
+        self._weight += message.weight_part
+
+    # ------------------------------------------------------------------
+    def average(self) -> Optional[float]:
+        """Best current estimate of the global average of value_fn."""
+        if self._weight > 1e-12:
+            current = self._sum / self._weight
+        else:
+            current = None
+        if current is None:
+            return self._last_average
+        if self._last_average is not None and self.epoch_length is not None:
+            # Early in an epoch the local ratio is just the local value;
+            # prefer last epoch's converged answer until mixing resumes.
+            progress = (self.host.now % self.epoch_length) / self.epoch_length
+            if progress < 0.25:
+                return self._last_average
+        return current
+
+
+@message_type
+@dataclass(frozen=True)
+class ExtremeShare(Message):
+    instance: str
+    value: float
+    is_max: bool
+
+
+class ExtremeAggregator(Protocol):
+    """Monotone gossip for global max (or min) of a local quantity.
+
+    Idempotent merge makes it exact under duplicates and loss; it only
+    ever lags, never errs, which is why the paper can offer these
+    "simple summaries" at almost no cost (§III-C).
+    """
+
+    def __init__(
+        self,
+        instance: str,
+        value_fn: Callable[[], float],
+        is_max: bool = True,
+        period: float = 1.0,
+        fanout: int = 2,
+        membership: str = "membership",
+    ):
+        super().__init__()
+        self.name = f"extreme:{instance}"
+        self.instance = instance
+        self.value_fn = value_fn
+        self.is_max = is_max
+        self.period = period
+        self.fanout = fanout
+        self.membership = membership
+        self._best: Optional[float] = None
+        self._timer = None
+
+    def on_start(self) -> None:
+        self._best = None
+        self._timer = self.every(self.period, self._round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    def _merge(self, value: Optional[float]) -> None:
+        if value is None:
+            return
+        if self._best is None:
+            self._best = value
+        elif self.is_max:
+            self._best = max(self._best, value)
+        else:
+            self._best = min(self._best, value)
+
+    def _round(self) -> None:
+        self._merge(self.value_fn())
+        if self._best is None:
+            return
+        share = ExtremeShare(self.instance, self._best, self.is_max)
+        for peer in self._sampler().sample_peers(self.fanout):
+            self.send(peer, share)
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if not isinstance(message, ExtremeShare):
+            self.host.metrics.counter("extreme.unexpected_message").inc()
+            return
+        self._merge(message.value)
+
+    def value(self) -> Optional[float]:
+        return self._best

@@ -1,0 +1,60 @@
+"""Static full-membership sampler.
+
+Represents the "know all nodes" assumption the paper attributes to
+structured systems like Cassandra (§I). Used by the DHT baseline and by
+unit tests that want gossip targets without running a PSS. The directory
+is shared and updated externally (e.g. by the cluster), which is exactly
+the unrealistic-at-scale part the paper criticises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.common.ids import NodeId
+from repro.membership.views import PeerSampler
+
+
+class StaticMembership(PeerSampler):
+    """PeerSampler over an externally maintained directory of node ids.
+
+    Args:
+        directory: callable returning the current full membership list.
+            A callable (not a frozen list) so baselines can observe
+            joins; failure *detection* latency is modelled separately by
+            the protocols that use this sampler.
+    """
+
+    name = "membership"
+
+    def __init__(self, directory: Callable[[], List[NodeId]]):
+        super().__init__()
+        self._directory = directory
+
+    def seed(self, peers: Iterable[NodeId]) -> None:
+        """No-op: the directory is authoritative."""
+
+    def all_peers(self) -> List[NodeId]:
+        return [nid for nid in self._directory() if nid != self.host.node_id]
+
+    def sample_peers(self, count: int) -> List[NodeId]:
+        peers = self.all_peers()
+        if len(peers) <= count:
+            return peers
+        return self.host.rng.sample(peers, count)
+
+    def neighbors(self) -> List[NodeId]:
+        return self.all_peers()
+
+
+def cluster_directory(cluster) -> Callable[[], List[NodeId]]:
+    """Directory listing every non-DEAD node of a simulated cluster.
+
+    DOWN nodes stay listed: a static directory cannot tell a transient
+    failure from a live node, which is the behaviour under test.
+    """
+
+    def _list() -> List[NodeId]:
+        return [node.node_id for node in cluster.live_nodes()]
+
+    return _list

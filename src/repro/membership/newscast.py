@@ -1,0 +1,110 @@
+"""Newscast-style peer sampling (Jelasity et al.).
+
+Simpler than Cyclon: peers periodically pick a *random* neighbour and
+exchange their full views stamped with logical freshness; both sides
+keep the freshest ``view_size`` descriptors. Provided as an alternative
+PeerSampler so experiments can check that upper layers are insensitive
+to the membership substrate (they only consume ``sample_peers``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type, wire_struct
+from repro.membership.views import PeerSampler
+
+
+@wire_struct
+@dataclass(frozen=True)
+class NewsItem:
+    """Descriptor with a logical timestamp (higher = fresher)."""
+
+    node_id: NodeId
+    stamp: int
+
+
+@message_type
+@dataclass(frozen=True)
+class NewsExchange(Message):
+    items: Tuple[NewsItem, ...] = field(default_factory=tuple)
+    is_reply: bool = False
+
+
+class NewscastProtocol(PeerSampler):
+    """Random-neighbour full-view exchange with freshest-wins merge."""
+
+    name = "membership"
+
+    def __init__(self, view_size: int = 16, period: float = 1.0):
+        super().__init__()
+        self.view_size = view_size
+        self.period = period
+        self._items: Dict[NodeId, NewsItem] = {}
+        self._clock = 0
+        self._timer = None
+
+    # -- lifecycle -------------------------------------------------------
+    def on_start(self) -> None:
+        self._items = {}
+        self._clock = 0
+        # Re-join after a reboot from the durable address cache (same
+        # rationale as CyclonProtocol.on_start).
+        for peer in self.host.durable.get("membership:address-cache", []):
+            self._items.setdefault(peer, NewsItem(peer, 0))
+        self._timer = self.every(self.period, self._round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def seed(self, peers: Iterable[NodeId]) -> None:
+        for peer in peers:
+            self._items.setdefault(peer, NewsItem(peer, 0))
+
+    # -- PeerSampler -------------------------------------------------------
+    def sample_peers(self, count: int) -> List[NodeId]:
+        peers = sorted(self._items.keys(), key=lambda nid: nid.value)
+        if len(peers) <= count:
+            return peers
+        return self.host.rng.sample(peers, count)
+
+    def neighbors(self) -> List[NodeId]:
+        return list(self._items.keys())
+
+    # -- exchange ----------------------------------------------------------
+    def _round(self) -> None:
+        self.host.durable["membership:address-cache"] = list(self._items.keys())
+        peers = self.sample_peers(1)
+        if not peers:
+            return
+        self._clock += 1
+        self.send(peers[0], NewsExchange(self._snapshot(), is_reply=False))
+        self.host.metrics.counter("newscast.rounds").inc()
+
+    def _snapshot(self) -> Tuple[NewsItem, ...]:
+        own = NewsItem(self.host.node_id, self._clock)
+        return tuple(list(self._items.values()) + [own])
+
+    def _merge(self, items: Iterable[NewsItem]) -> None:
+        for item in items:
+            if item.node_id == self.host.node_id:
+                self._clock = max(self._clock, item.stamp)
+                continue
+            current = self._items.get(item.node_id)
+            if current is None or item.stamp > current.stamp:
+                self._items[item.node_id] = item
+        if len(self._items) > self.view_size:
+            keep = sorted(self._items.values(), key=lambda i: (-i.stamp, i.node_id.value))
+            self._items = {i.node_id: i for i in keep[: self.view_size]}
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if not isinstance(message, NewsExchange):
+            self.host.metrics.counter("newscast.unexpected_message").inc()
+            return
+        if not message.is_reply:
+            self._clock += 1
+            self.send(sender, NewsExchange(self._snapshot(), is_reply=True))
+        self._merge(message.items)

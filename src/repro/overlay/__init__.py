@@ -1,0 +1,29 @@
+"""Ordered overlays for item/node ordering (paper §III-B2)."""
+
+from repro.overlay.multiattr import (
+    SharedMultiOverlay,
+    VectorDescriptor,
+    VectorExchange,
+    naive_overlays,
+)
+from repro.overlay.tman import (
+    CoordinateFn,
+    TManDescriptor,
+    TManExchange,
+    TManProtocol,
+    line_distance,
+    ring_distance,
+)
+
+__all__ = [
+    "CoordinateFn",
+    "SharedMultiOverlay",
+    "TManDescriptor",
+    "TManExchange",
+    "TManProtocol",
+    "VectorDescriptor",
+    "VectorExchange",
+    "line_distance",
+    "naive_overlays",
+    "ring_distance",
+]

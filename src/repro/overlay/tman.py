@@ -1,0 +1,234 @@
+"""T-Man: gossip-based topology construction (paper ref [32], §III-B2).
+
+Nodes carry a numeric *coordinate* (for DataDroplets: the centre of the
+node's sieve range in CDF space of some attribute) and gossip ranked
+views; each exchange keeps the entries closest to the node's own
+coordinate. Within O(log N) rounds the selected neighbours converge to
+the true coordinate neighbours, yielding the attribute-ordered overlay
+that range scans walk ("establish a partial order among nodes and have
+them converge to the proper neighbourhood using well-known methods").
+
+The coordinate is supplied by a callable so it can move (e.g. when the
+distribution estimate shifts the node's equi-depth arc): each round the
+node re-reads it and republishes a fresh descriptor of itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type, wire_struct
+from repro.membership.views import PeerSampler
+from repro.sim.node import Protocol
+
+#: Supplies this node's current coordinate (None = not participating yet).
+CoordinateFn = Callable[[], Optional[float]]
+
+
+@wire_struct
+@dataclass(frozen=True)
+class TManDescriptor:
+    node_id: NodeId
+    coordinate: float
+    #: Publication time at the origin node. Coordinates move (equi-depth
+    #: arcs shift with the distribution estimate), and without freshness
+    #: information a stale third-party copy can overwrite current
+    #: knowledge forever; merges keep the freshest stamp per node.
+    stamp: float = 0.0
+
+
+@message_type
+@dataclass(frozen=True)
+class TManExchange(Message):
+    instance: str
+    entries: Tuple[TManDescriptor, ...] = field(default_factory=tuple)
+    is_reply: bool = False
+
+
+def ring_distance(a: float, b: float) -> float:
+    """Distance on the unit ring (wraps at 1.0)."""
+    d = abs(a - b) % 1.0
+    return min(d, 1.0 - d)
+
+
+def line_distance(a: float, b: float) -> float:
+    return abs(a - b)
+
+
+class TManProtocol(Protocol):
+    """One ordered overlay over one coordinate.
+
+    Args:
+        instance: names the overlay (protocol name ``tman:<instance>``).
+        coordinate_fn: live coordinate source.
+        view_size: ranked view capacity.
+        exchange_size: descriptors shipped per exchange.
+        period: gossip period.
+        ring: rank by ring distance (True) or line distance.
+    """
+
+    def __init__(
+        self,
+        instance: str,
+        coordinate_fn: CoordinateFn,
+        view_size: int = 8,
+        exchange_size: int = 8,
+        period: float = 1.0,
+        ring: bool = True,
+        explore_probability: float = 0.2,
+        descriptor_ttl: Optional[float] = None,
+        membership: str = "membership",
+    ):
+        super().__init__()
+        if not 0 <= explore_probability <= 1:
+            raise ValueError("explore_probability must be in [0, 1]")
+        # Live nodes republish themselves every round, so descriptors
+        # older than a generous multiple of the period are either from
+        # dead nodes or carry obsolete coordinates (published under an
+        # early size estimate); both poison successor pointers.
+        self.descriptor_ttl = descriptor_ttl if descriptor_ttl is not None else 30.0 * period
+        self.name = f"tman:{instance}"
+        self.instance = instance
+        self.coordinate_fn = coordinate_fn
+        self.view_size = view_size
+        self.exchange_size = exchange_size
+        self.period = period
+        self.distance = ring_distance if ring else line_distance
+        self.explore_probability = explore_probability
+        self.membership = membership
+        self._view: List[TManDescriptor] = []
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._view = []
+        self._timer = self.every(self.period, self._round)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        coordinate = self.coordinate_fn()
+        if coordinate is None:
+            return
+        target = self._select_target(coordinate)
+        if target is None:
+            return
+        self.send(target, TManExchange(self.instance, self._payload(coordinate), is_reply=False))
+        self.host.metrics.counter(f"tman.rounds.{self.instance}").inc()
+
+    def _select_target(self, coordinate: float) -> Optional[NodeId]:
+        # T-Man peer selection: usually a random node among the closest
+        # half of the view, but with explore_probability a uniform PSS
+        # peer instead. Exploration is what bridges coordinate-space
+        # clusters and lets the overlay heal under churn — pure
+        # closest-half selection converges locally then ossifies.
+        explore = self.host.rng.random() < self.explore_probability
+        if self._view and not explore:
+            ranked = self._ranked(coordinate, self._view)
+            half = ranked[: max(1, len(ranked) // 2)]
+            return self.host.rng.choice(half).node_id
+        peers = self._sampler().sample_peers(1)
+        if peers:
+            return peers[0]
+        if self._view:
+            return self.host.rng.choice(self._view).node_id
+        return None
+
+    def _payload(self, coordinate: float) -> Tuple[TManDescriptor, ...]:
+        entries = list(self._view)
+        entries.append(TManDescriptor(self.host.node_id, coordinate, self.host.now))
+        if len(entries) > self.exchange_size:
+            entries = self._ranked(coordinate, entries)[: self.exchange_size]
+        return tuple(entries)
+
+    def _ranked(self, coordinate: float, entries: List[TManDescriptor]) -> List[TManDescriptor]:
+        return sorted(entries, key=lambda d: (self.distance(coordinate, d.coordinate), d.node_id.value))
+
+    def _merge(self, entries: Tuple[TManDescriptor, ...]) -> None:
+        coordinate = self.coordinate_fn()
+        if coordinate is None:
+            return
+        horizon = self.host.now - self.descriptor_ttl
+        by_node = {}
+        for descriptor in list(self._view) + list(entries):
+            if descriptor.node_id == self.host.node_id:
+                continue
+            if descriptor.stamp < horizon:
+                continue  # expired (see descriptor_ttl)
+            current = by_node.get(descriptor.node_id)
+            if current is None or descriptor.stamp >= current.stamp:
+                by_node[descriptor.node_id] = descriptor  # freshest wins
+        ranked = self._ranked(coordinate, list(by_node.values()))
+        # Cap entries per distinct coordinate: when coordinates are
+        # bucketed (r nodes share each sieve-bucket centre) a pure
+        # closest-first view degenerates into r copies of the same
+        # coordinate and loses the successor/predecessor pointers range
+        # scans walk. Two per coordinate keeps redundancy without losing
+        # span.
+        view: List[TManDescriptor] = []
+        per_coordinate: dict = {}
+        for descriptor in ranked:
+            seen = per_coordinate.get(descriptor.coordinate, 0)
+            if seen >= 2:
+                continue
+            per_coordinate[descriptor.coordinate] = seen + 1
+            view.append(descriptor)
+            if len(view) >= self.view_size:
+                break
+        self._view = view
+
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if not isinstance(message, TManExchange) or message.instance != self.instance:
+            self.host.metrics.counter("tman.unexpected_message").inc()
+            return
+        if not message.is_reply:
+            coordinate = self.coordinate_fn()
+            if coordinate is not None:
+                self.send(sender, TManExchange(self.instance, self._payload(coordinate), is_reply=True))
+        self._merge(message.entries)
+
+    # ------------------------------------------------------------------
+    # ordered-overlay queries
+    # ------------------------------------------------------------------
+    def view(self) -> List[TManDescriptor]:
+        return list(self._view)
+
+    def ordered_neighbors(self) -> List[TManDescriptor]:
+        """Current view sorted by coordinate (ascending)."""
+        return sorted(self._view, key=lambda d: (d.coordinate, d.node_id.value))
+
+    def successor(self) -> Optional[TManDescriptor]:
+        """Nearest neighbour with a strictly greater coordinate (the
+        range-scan 'next node' pointer); wraps on a ring."""
+        coordinate = self.coordinate_fn()
+        if coordinate is None or not self._view:
+            return None
+        greater = [d for d in self._view if d.coordinate > coordinate]
+        if greater:
+            return min(greater, key=lambda d: d.coordinate)
+        if self.distance is ring_distance:
+            return min(self._view, key=lambda d: d.coordinate)  # wrap around
+        return None
+
+    def predecessor(self) -> Optional[TManDescriptor]:
+        coordinate = self.coordinate_fn()
+        if coordinate is None or not self._view:
+            return None
+        smaller = [d for d in self._view if d.coordinate < coordinate]
+        if smaller:
+            return max(smaller, key=lambda d: d.coordinate)
+        if self.distance is ring_distance:
+            return max(self._view, key=lambda d: d.coordinate)
+        return None
+
+    def closest_to(self, coordinate: float, count: int = 1) -> List[TManDescriptor]:
+        """View entries nearest an arbitrary coordinate (greedy routing)."""
+        return self._ranked(coordinate, list(self._view))[:count]

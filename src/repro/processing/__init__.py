@@ -1,0 +1,30 @@
+"""Data processing over the substrate: aggregates, scans, joins (§III-C)."""
+
+from repro.processing.aggregate import (
+    AggregateSnapshot,
+    GroundTruth,
+    relative_errors,
+    snapshot,
+)
+from repro.processing.joins import JoinResult, hash_join, key_join, scan_join
+from repro.processing.rangescan import (
+    ScanQuality,
+    chunked_scan,
+    evaluate_scan,
+    scan_until_recall,
+)
+
+__all__ = [
+    "AggregateSnapshot",
+    "GroundTruth",
+    "JoinResult",
+    "ScanQuality",
+    "chunked_scan",
+    "evaluate_scan",
+    "hash_join",
+    "key_join",
+    "relative_errors",
+    "scan_join",
+    "scan_until_recall",
+    "snapshot",
+]

@@ -1,0 +1,93 @@
+"""Client-level aggregation helpers (paper §III-C).
+
+"It is straightforward to offer simple aggregations to clients with
+minimal overhead. In fact, basic distributed computations are already
+done in order to estimate the data distribution [...] it is simply a
+matter of exposing such results to the soft-state layer."
+
+The gossip estimators run continuously inside the storage layer; these
+helpers expose them as one coherent view and quantify their error
+against ground truth (for the E11 benchmark)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.datadroplets import DataDroplets, UnavailableError
+
+
+@dataclass(frozen=True)
+class AggregateSnapshot:
+    """All supported aggregates of one attribute at one instant."""
+
+    attribute: str
+    count: Optional[float]
+    sum: Optional[float]
+    avg: Optional[float]
+    maximum: Optional[float]
+    minimum: Optional[float]
+
+
+def snapshot(dd: DataDroplets, attribute: str) -> AggregateSnapshot:
+    """Query every aggregate kind, tolerating not-yet-converged ones."""
+
+    def ask(kind: str) -> Optional[float]:
+        try:
+            return dd.aggregate(attribute, kind)
+        except UnavailableError:
+            return None
+
+    return AggregateSnapshot(
+        attribute=attribute,
+        count=ask("count"),
+        sum=ask("sum"),
+        avg=ask("avg"),
+        maximum=ask("max"),
+        minimum=ask("min"),
+    )
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact aggregates computed centrally from the written dataset."""
+
+    count: float
+    sum: float
+    avg: float
+    maximum: float
+    minimum: float
+
+    @staticmethod
+    def of(values: Iterable[float]) -> "GroundTruth":
+        values = list(values)
+        if not values:
+            raise ValueError("ground truth needs at least one value")
+        total = sum(values)
+        return GroundTruth(
+            count=float(len(values)),
+            sum=total,
+            avg=total / len(values),
+            maximum=max(values),
+            minimum=min(values),
+        )
+
+
+def relative_errors(estimate: AggregateSnapshot, truth: GroundTruth) -> Dict[str, float]:
+    """Relative error per aggregate kind (NaN when unavailable)."""
+
+    def err(got: Optional[float], want: float) -> float:
+        if got is None:
+            return math.nan
+        if want == 0:
+            return abs(got)
+        return abs(got - want) / abs(want)
+
+    return {
+        "count": err(estimate.count, truth.count),
+        "sum": err(estimate.sum, truth.sum),
+        "avg": err(estimate.avg, truth.avg),
+        "max": err(estimate.maximum, truth.maximum),
+        "min": err(estimate.minimum, truth.minimum),
+    }

@@ -1,0 +1,103 @@
+"""Range-scan client helpers (paper §III-B2).
+
+The scan *protocol* lives in the storage layer (ordered-overlay walk)
+and the coordinator (partial merging); this module adds the client-side
+conveniences a library user expects: recall evaluation against a known
+dataset, retrying scans until the overlay has converged, and chunked
+scans for large ranges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.datadroplets import DataDroplets
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ScanQuality:
+    """Recall/precision of a scan against ground truth."""
+
+    returned: int
+    expected: int
+    correct: int
+
+    @property
+    def recall(self) -> float:
+        return self.correct / self.expected if self.expected else 1.0
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.returned if self.returned else 1.0
+
+
+def evaluate_scan(
+    rows: Sequence[Row],
+    dataset: Sequence[Tuple[str, Dict[str, Any]]],
+    attribute: str,
+    low: float,
+    high: float,
+) -> ScanQuality:
+    """Compare scan output against the written dataset."""
+    expected_keys = {
+        key
+        for key, record in dataset
+        if isinstance(record.get(attribute), (int, float))
+        and low <= record[attribute] <= high
+    }
+    returned_keys = {row["_key"] for row in rows if "_key" in row}
+    return ScanQuality(
+        returned=len(returned_keys),
+        expected=len(expected_keys),
+        correct=len(returned_keys & expected_keys),
+    )
+
+
+def scan_until_recall(
+    dd: DataDroplets,
+    dataset: Sequence[Tuple[str, Dict[str, Any]]],
+    attribute: str,
+    low: float,
+    high: float,
+    target_recall: float = 0.95,
+    attempts: int = 5,
+    settle_seconds: float = 10.0,
+) -> Tuple[List[Row], ScanQuality]:
+    """Scan, letting the overlay/migration settle between attempts.
+
+    Useful right after a bulk load: the ordered overlay and equi-depth
+    migration converge within a few maintenance periods."""
+    rows: List[Row] = []
+    quality = ScanQuality(0, 1, 0)
+    for _ in range(max(1, attempts)):
+        rows = dd.scan(attribute, low, high)
+        quality = evaluate_scan(rows, dataset, attribute, low, high)
+        if quality.recall >= target_recall:
+            break
+        dd.run_for(settle_seconds)
+    return rows, quality
+
+
+def chunked_scan(
+    dd: DataDroplets,
+    attribute: str,
+    low: float,
+    high: float,
+    chunks: int = 4,
+) -> List[Row]:
+    """Split a wide range into sub-scans and merge (bounds each walk's
+    hop budget; the merge dedups on key keeping the newest row)."""
+    if chunks <= 0:
+        raise ValueError("chunks must be positive")
+    width = (high - low) / chunks
+    merged: Dict[str, Row] = {}
+    for i in range(chunks):
+        chunk_low = low + i * width
+        chunk_high = high if i == chunks - 1 else low + (i + 1) * width
+        for row in dd.scan(attribute, chunk_low, chunk_high):
+            merged[row.get("_key", str(len(merged)))] = row
+    rows = list(merged.values())
+    rows.sort(key=lambda r: (r.get(attribute, 0), r.get("_key", "")))
+    return rows

@@ -1,0 +1,23 @@
+"""Random-walk sampling and census estimation (paper refs [24], [25])."""
+
+from repro.randomwalk.sampling import (
+    PopulationEstimate,
+    collect_peer_ids,
+    estimate_item_population,
+    estimate_range_population,
+    recommended_walk_ttl,
+    walks_needed,
+)
+from repro.randomwalk.walker import RandomWalkProtocol, WalkResult, WalkStep
+
+__all__ = [
+    "PopulationEstimate",
+    "RandomWalkProtocol",
+    "WalkResult",
+    "WalkStep",
+    "collect_peer_ids",
+    "estimate_item_population",
+    "estimate_range_population",
+    "recommended_walk_ttl",
+    "walks_needed",
+]

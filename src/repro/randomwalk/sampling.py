@@ -1,0 +1,97 @@
+"""Estimators over random-walk endpoint samples.
+
+Walk endpoints approximate uniform node samples, so population counts
+follow from sample proportions scaled by the (epidemic) size estimate.
+These are the arithmetic halves of the paper's redundancy census (C4);
+the protocol half lives in :mod:`repro.randomwalk.walker`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+
+def recommended_walk_ttl(n_estimate: float, slack: int = 4) -> int:
+    """Hop count for near-uniform endpoints: ~log2(N) + slack mixing
+    steps on an expander overlay."""
+    return max(1, math.ceil(math.log2(max(2.0, n_estimate)))) + slack
+
+
+@dataclass(frozen=True)
+class PopulationEstimate:
+    """Population of one sieve range, from a walk census."""
+
+    range_key: Hashable
+    walks: int
+    hits: int
+    n_estimate: float
+
+    @property
+    def proportion(self) -> float:
+        return self.hits / self.walks if self.walks else 0.0
+
+    @property
+    def population(self) -> float:
+        """Estimated number of nodes covering the range."""
+        return self.proportion * self.n_estimate
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of :attr:`population` (binomial sampling)."""
+        if self.walks == 0:
+            return float("inf")
+        p = self.proportion
+        return self.n_estimate * math.sqrt(max(0.0, p * (1 - p)) / self.walks)
+
+
+def estimate_range_population(
+    reports: Sequence[Dict[str, Any]],
+    range_key: Hashable,
+    n_estimate: float,
+    field: str = "range_key",
+) -> PopulationEstimate:
+    """Count endpoint reports whose sieve covers ``range_key``."""
+    hits = sum(1 for report in reports if report.get(field) == range_key)
+    return PopulationEstimate(range_key, len(reports), hits, n_estimate)
+
+
+def estimate_item_population(
+    reports: Sequence[Dict[str, Any]],
+    n_estimate: float,
+    field: str = "holds",
+) -> PopulationEstimate:
+    """Per-item census (the expensive path the paper rejects; kept for
+    the E6 ablation): endpoints report whether they hold the probed key."""
+    hits = sum(1 for report in reports if report.get(field))
+    return PopulationEstimate("item", len(reports), hits, n_estimate)
+
+
+def walks_needed(n_estimate: float, range_population: float, rel_error: float = 0.5,
+                 confidence_z: float = 1.96) -> int:
+    """Walks for the census to resolve ``range_population`` within
+    ``rel_error`` relative error at the given z. Shows why per-range
+    counting is drastically cheaper than per-tuple: the cost depends on
+    the *range* population (≈ r), not on the number of tuples."""
+    if range_population <= 0 or n_estimate <= 0:
+        raise ValueError("populations must be positive")
+    p = min(1.0, range_population / n_estimate)
+    if p >= 1.0:
+        return 1
+    # n >= z^2 (1-p) / (p * e^2) from the binomial proportion CI.
+    return max(1, math.ceil(confidence_z**2 * (1 - p) / (p * rel_error**2)))
+
+
+def collect_peer_ids(
+    reports: Sequence[Dict[str, Any]],
+    range_key: Hashable,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """Node ids of endpoints covering ``range_key`` — the same-range
+    peers the origin will reconcile with directly (paper §III-A)."""
+    peers = []
+    for report in reports:
+        if report.get("range_key") == range_key and report.get("node") != exclude:
+            peers.append(report["node"])
+    return sorted(set(peers))

@@ -1,0 +1,162 @@
+"""Random walks over the gossip overlay (paper refs [24], [25]).
+
+A walk starts at an origin, takes ``ttl`` uniform-random hops through
+membership views, and the final node reports back *directly* to the
+origin with a small info record (its id, its sieve range key, whether it
+holds a probed key...). On a well-mixed expander — which the Cyclon
+overlay is — O(log N) hops suffice for the endpoint to be a near-uniform
+sample of the population.
+
+Redundancy maintenance builds on this: the fraction of walk endpoints
+whose sieve covers range R estimates the *population of range R* when
+scaled by the size estimate. That is the paper's key efficiency claim
+(C4): one short walk census per *range* replaces a walk per *tuple*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.membership.views import PeerSampler
+from repro.sim.node import Protocol
+
+#: Builds the endpoint's report. Receives the walk's probe payload.
+ReporterFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+#: Invoked at the origin with the endpoint's report (None on timeout).
+ResultFn = Callable[[Optional[Dict[str, Any]]], None]
+
+
+@message_type
+@dataclass(frozen=True)
+class WalkStep(Message):
+    walk_id: str
+    origin: NodeId
+    ttl: int
+    probe: Dict[str, Any] = field(default_factory=dict)
+
+
+@message_type
+@dataclass(frozen=True)
+class WalkResult(Message):
+    walk_id: str
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class RandomWalkProtocol(Protocol):
+    """Issues, forwards and completes random walks.
+
+    Args:
+        reporter: builds this node's endpoint report; installed by the
+            storage layer (reports the sieve range, store size, ...).
+            Defaults to reporting just the node id.
+        timeout: seconds an origin waits before declaring a walk lost
+            (walks die when an intermediate node crashes mid-walk).
+    """
+
+    name = "random-walk"
+
+    def __init__(
+        self,
+        reporter: Optional[ReporterFn] = None,
+        timeout: float = 10.0,
+        membership: str = "membership",
+    ):
+        super().__init__()
+        self.reporter = reporter
+        self.timeout = timeout
+        self.membership = membership
+        self._pending: Dict[str, ResultFn] = {}
+        self._walk_seq = itertools.count()
+
+    def on_start(self) -> None:
+        self._pending = {}
+
+    def set_reporter(self, reporter: ReporterFn) -> None:
+        self.reporter = reporter
+
+    def _sampler(self) -> PeerSampler:
+        return self.host.protocol(self.membership)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def start_walk(self, ttl: int, on_result: ResultFn, probe: Optional[Dict[str, Any]] = None) -> str:
+        """Launch one walk; ``on_result`` fires exactly once (report or
+        None after the timeout). Returns the walk id."""
+        if ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        walk_id = f"{self.host.node_id.value}:{next(self._walk_seq)}"
+        self._pending[walk_id] = on_result
+        self.host.set_timer(self.timeout, lambda: self._expire(walk_id))
+        self._advance(WalkStep(walk_id, self.host.node_id, ttl, dict(probe or {})))
+        self.host.metrics.counter("walks.started").inc()
+        return walk_id
+
+    def start_walks(self, count: int, ttl: int, on_done: Callable[[list], None],
+                    probe: Optional[Dict[str, Any]] = None) -> None:
+        """Launch ``count`` walks; ``on_done`` gets the list of non-None
+        reports once every walk has reported or timed out."""
+        outcomes: list = []
+        remaining = [count]
+
+        def one(result: Optional[Dict[str, Any]]) -> None:
+            if result is not None:
+                outcomes.append(result)
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                on_done(outcomes)
+
+        if count <= 0:
+            on_done(outcomes)
+            return
+        for _ in range(count):
+            self.start_walk(ttl, one, probe)
+
+    # ------------------------------------------------------------------
+    def _advance(self, step: WalkStep) -> None:
+        if step.ttl <= 0:
+            self._complete(step)
+            return
+        peers = self._sampler().sample_peers(1)
+        if not peers:
+            self._complete(step)  # nowhere to go; report from here
+            return
+        self.send(peers[0], WalkStep(step.walk_id, step.origin, step.ttl - 1, step.probe))
+        self.host.metrics.counter("walks.hops").inc()
+
+    def _complete(self, step: WalkStep) -> None:
+        info = self._build_report(step.probe)
+        if step.origin == self.host.node_id:
+            self._deliver(step.walk_id, info)
+        else:
+            self.send(step.origin, WalkResult(step.walk_id, info))
+
+    def _build_report(self, probe: Dict[str, Any]) -> Dict[str, Any]:
+        if self.reporter is not None:
+            info = dict(self.reporter(probe))
+        else:
+            info = {}
+        info.setdefault("node", self.host.node_id.value)
+        return info
+
+    def _deliver(self, walk_id: str, info: Optional[Dict[str, Any]]) -> None:
+        callback = self._pending.pop(walk_id, None)
+        if callback is not None:
+            callback(info)
+
+    def _expire(self, walk_id: str) -> None:
+        if walk_id in self._pending:
+            self.host.metrics.counter("walks.timeouts").inc()
+            self._deliver(walk_id, None)
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: NodeId, message: Message) -> None:
+        if isinstance(message, WalkStep):
+            self._advance(message)
+        elif isinstance(message, WalkResult):
+            self._deliver(message.walk_id, message.info)
+        else:
+            self.host.metrics.counter("walks.unexpected_message").inc()

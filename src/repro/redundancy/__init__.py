@@ -1,0 +1,12 @@
+"""Redundancy maintenance: census, grace window, direct range repair."""
+
+from repro.redundancy.manager import RedundancyManager, RepairPolicy
+from repro.redundancy.repair import PeerSource, RangeRepair, RangeScopedStore
+
+__all__ = [
+    "PeerSource",
+    "RangeRepair",
+    "RangeScopedStore",
+    "RedundancyManager",
+    "RepairPolicy",
+]

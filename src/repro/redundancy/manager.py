@@ -1,0 +1,201 @@
+"""Redundancy maintenance (paper §III-A, claims C4/C5).
+
+Periodically each node runs a *census*: a batch of short random walks
+whose endpoints report which sieve range they cover. From the hit
+fraction and the epidemic size estimate the node learns how many nodes
+currently share its range — one cheap estimate covering *every tuple in
+the range at once*, instead of a random walk per tuple.
+
+Outcomes:
+
+* discovered same-range peers feed :class:`RangeRepair` (direct
+  reconciliation), and
+* if the range population stays below the replication target for longer
+  than the *grace window* (the paper's churn-relaxation: most nodes
+  come back after a reboot, so don't panic-repair), the node
+  re-disseminates its range through gossip so the re-partitioned
+  population re-places the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.common.ids import NodeId
+from repro.randomwalk.sampling import (
+    collect_peer_ids,
+    estimate_range_population,
+    recommended_walk_ttl,
+)
+from repro.randomwalk.walker import RandomWalkProtocol
+from repro.sieve.base import Sieve
+from repro.sim.node import Protocol
+from repro.store.memtable import Memtable
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Tunables of redundancy maintenance.
+
+    Attributes:
+        target_replication: minimum nodes per range (the paper's r).
+        check_period: seconds between censuses.
+        walks_per_check: walks per census (binomial resolution).
+        walk_ttl: hops per walk; None derives ~log2(N)+4 from the size
+            estimate.
+        grace_window: seconds a deficiency must persist before active
+            re-dissemination (0 = eager repair; the E6 ablation knob).
+        max_known_peers: cap on remembered same-range peers.
+        redisseminate_batch: max items re-broadcast per repair action.
+    """
+
+    target_replication: int = 3
+    check_period: float = 10.0
+    walks_per_check: int = 32
+    walk_ttl: Optional[int] = None
+    grace_window: float = 30.0
+    max_known_peers: int = 8
+    redisseminate_batch: int = 200
+
+    def __post_init__(self) -> None:
+        if self.target_replication <= 0:
+            raise ValueError("target_replication must be positive")
+        if self.check_period <= 0 or self.walks_per_check <= 0:
+            raise ValueError("check_period and walks_per_check must be positive")
+        if self.grace_window < 0:
+            raise ValueError("grace_window must be non-negative")
+
+
+class RedundancyManager(Protocol):
+    """Runs the census loop and triggers repair actions.
+
+    Collaborators are sibling protocols found by name on the same node:
+    the random-walk engine, the gossip dissemination channel, and the
+    size estimator (through ``size_estimate_fn``).
+    """
+
+    name = "redundancy"
+
+    def __init__(
+        self,
+        memtable: Memtable,
+        sieve: Sieve,
+        size_estimate_fn,
+        policy: RepairPolicy = RepairPolicy(),
+        gossip: str = "gossip",
+        walker: str = "random-walk",
+        active: bool = True,
+    ):
+        super().__init__()
+        self.active = active
+        self.memtable = memtable
+        self.sieve = sieve
+        self.size_estimate_fn = size_estimate_fn
+        self.policy = policy
+        self.gossip_name = gossip
+        self.walker_name = walker
+        self.known_peers: List[NodeId] = []
+        self.last_population: Optional[float] = None
+        self._deficient_since: Optional[float] = None
+        self._timer = None
+        self.censuses = 0
+        self.repairs_triggered = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        walker = self._walker()
+        walker.set_reporter(self._report)
+        self._timer = self.every(self.policy.check_period, self.run_census)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _walker(self) -> RandomWalkProtocol:
+        return self.host.protocol(self.walker_name)  # type: ignore[return-value]
+
+    def _report(self, probe: Dict[str, Any]) -> Dict[str, Any]:
+        """Endpoint report for incoming walks: who am I, which range do
+        I cover, and do I hold the probed key (per-item ablation path)."""
+        info: Dict[str, Any] = {
+            "node": self.host.node_id.value,
+            "range_key": self.sieve.range_key(),
+            "stored": len(self.memtable),
+        }
+        probed = probe.get("key")
+        if probed is not None:
+            info["holds"] = probed in self.memtable
+        return info
+
+    # ------------------------------------------------------------------
+    def same_range_peers(self) -> List[NodeId]:
+        """Census-discovered peers sharing this node's range (the
+        RangeRepair peer source)."""
+        return list(self.known_peers)
+
+    def run_census(self) -> None:
+        """One census round (also callable directly by tests/benchmarks)."""
+        range_key = self.sieve.range_key()
+        if range_key is None:
+            self.host.metrics.counter("redundancy.no_range").inc()
+            return
+        n_estimate = max(1.0, float(self.size_estimate_fn()))
+        ttl = self.policy.walk_ttl
+        if ttl is None:
+            ttl = recommended_walk_ttl(n_estimate)
+        self.censuses += 1
+        self._walker().start_walks(
+            self.policy.walks_per_check,
+            ttl,
+            lambda reports: self._census_done(reports, range_key, n_estimate),
+        )
+
+    def _census_done(self, reports: List[Dict[str, Any]], range_key, n_estimate: float) -> None:
+        if self.sieve.range_key() != range_key:
+            return  # our range moved (size estimate shifted) — stale census
+        estimate = estimate_range_population(reports, range_key, n_estimate)
+        self.last_population = estimate.population
+        self.host.metrics.histogram("redundancy.population").observe(estimate.population)
+        self._absorb_peers(collect_peer_ids(reports, range_key, exclude=self.host.node_id.value))
+        target = self.policy.target_replication
+        if estimate.population + 1 < target:  # +1: we cover it ourselves
+            if self._deficient_since is None:
+                self._deficient_since = self.host.now
+            elif self.host.now - self._deficient_since >= self.policy.grace_window:
+                if self.active:
+                    self._repair()
+                self._deficient_since = self.host.now  # back off one window
+        else:
+            self._deficient_since = None
+
+    def _absorb_peers(self, peer_values: List[int]) -> None:
+        merged = {p.value: p for p in self.known_peers}
+        for value in peer_values:
+            merged.setdefault(value, NodeId(value))
+        peers = sorted(merged.values(), key=lambda p: p.value)
+        if len(peers) > self.policy.max_known_peers:
+            peers = self.host.rng.sample(peers, self.policy.max_known_peers)
+        self.known_peers = peers
+
+    # ------------------------------------------------------------------
+    def _repair(self) -> None:
+        """Re-disseminate own-range items so the current population
+        re-places them (new/widened sieves admit them on arrival)."""
+        gossip = self.host.protocol(self.gossip_name)
+        batch = 0
+        # The round tag makes successive repair rounds distinct gossip
+        # items; otherwise intermediate seen-caches would suppress them.
+        round_tag = f"{self.host.node_id.value}.{self.repairs_triggered}"
+        for item in self.memtable.all_items():
+            if not self.sieve.admits(item.key, item.record):
+                continue
+            gossip.broadcast(  # type: ignore[attr-defined]
+                f"repair:{round_tag}:{item.key}:{item.version.packed()}", item
+            )
+            batch += 1
+            if batch >= self.policy.redisseminate_batch:
+                break
+        self.repairs_triggered += 1
+        self.host.metrics.counter("redundancy.repairs").inc()
+        self.host.metrics.counter("redundancy.items_redisseminated").inc(batch)

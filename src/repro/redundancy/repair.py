@@ -1,0 +1,96 @@
+"""Direct same-range reconciliation (paper §III-A).
+
+"[...] have nodes responsible to the same key space (discovered by the
+random walk procedure) check tuple redundancy directly between them and
+restore redundancy as necessary."
+
+:class:`RangeRepair` is an anti-entropy instance whose digests are
+*scoped to the node's own sieve range* and whose partner is drawn from
+the same-range peers the census discovered — so the exchanged digests
+are small (one range, not the whole store) and every exchange is with a
+node that actually shares responsibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.common.ids import NodeId
+from repro.epidemic.antientropy import AntiEntropy, AntiEntropyStore, VersionedItem
+from repro.sieve.base import Sieve
+from repro.store.memtable import Memtable
+from repro.store.tuples import Version, VersionedTuple
+
+#: Supplies the current same-range peer candidates (census discoveries).
+PeerSource = Callable[[], List[NodeId]]
+
+
+class RangeScopedStore(AntiEntropyStore):
+    """Memtable view restricted to items the node's sieve admits.
+
+    Incoming items the sieve does not admit are ignored rather than
+    stored: reconciliation must converge replicas of the shared range,
+    not turn repair partners into accidental replicas of everything.
+    """
+
+    def __init__(self, memtable: Memtable, sieve: Sieve):
+        self.memtable = memtable
+        self.sieve = sieve
+
+    def digest(self) -> Dict[str, int]:
+        return {
+            item.key: item.version.packed()
+            for item in self.memtable.all_items()
+            if self.sieve.admits(item.key, item.record)
+        }
+
+    def fetch(self, item_ids: Iterable[str]) -> List[VersionedItem]:
+        return self.memtable.fetch(item_ids)
+
+    def apply(self, items: Iterable[VersionedItem]) -> int:
+        changed = 0
+        for key, packed, payload in items:
+            record, tombstone = payload
+            if not self.sieve.admits(key, record):
+                continue
+            incoming = VersionedTuple(
+                key=key,
+                version=Version.unpacked(packed),
+                record=dict(record),
+                tombstone=bool(tombstone),
+            )
+            if self.memtable.put(incoming):
+                changed += 1
+        return changed
+
+
+class RangeRepair(AntiEntropy):
+    """Anti-entropy over the scoped store, partnered by the census.
+
+    Runs opportunistically: with no discovered same-range peer the round
+    is a no-op (the census will eventually discover peers, or conclude
+    the range is under-populated and trigger re-dissemination instead).
+    """
+
+    name = "range-repair"
+
+    def __init__(
+        self,
+        memtable: Memtable,
+        sieve: Sieve,
+        peer_source: PeerSource,
+        period: float = 10.0,
+        max_digest: Optional[int] = None,
+    ):
+        super().__init__(
+            store=RangeScopedStore(memtable, sieve),
+            period=period,
+            max_digest=max_digest,
+        )
+        self.peer_source = peer_source
+
+    def select_peer(self) -> Optional[NodeId]:
+        peers = self.peer_source()
+        if not peers:
+            return None
+        return self.host.rng.choice(sorted(peers, key=lambda p: p.value))

@@ -1,0 +1,233 @@
+"""Asyncio/UDP runtime for the sans-io protocols.
+
+The same :class:`~repro.sim.node.Protocol` objects that run in the
+simulator run here over real UDP sockets — the Host contract (send,
+timers, clock, RNG, durable dict) is implemented with asyncio
+primitives instead of the virtual event loop. Loss, reordering and
+crash-recovery semantics carry over naturally: UDP *is* the lossy
+unordered network the protocols were written against.
+
+Addressing: a node's :class:`NodeId` value is its UDP port; the label
+carries ``host:port``. The default address book resolves ids to
+``127.0.0.1:<value>`` (localhost clusters); pass a custom resolver for
+multi-host deployments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.codec import Codec, CodecError
+from repro.common.ids import NodeId
+from repro.common.messages import Message
+from repro.sim.metrics import Metrics
+from repro.sim.node import Host, Protocol
+
+#: Resolves a NodeId to a UDP address.
+AddressBook = Callable[[NodeId], Tuple[str, int]]
+
+
+def localhost_address_book(node_id: NodeId) -> Tuple[str, int]:
+    return ("127.0.0.1", node_id.value)
+
+
+def node_id_for(host: str, port: int) -> NodeId:
+    return NodeId(port, f"{host}:{port}")
+
+
+class _TimerHandle:
+    """Duck-typed EventHandle over asyncio's TimerHandle."""
+
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle):
+        self._handle = handle
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+
+class AsyncioNode(Host, asyncio.DatagramProtocol):
+    """One real process-like node: UDP endpoint + protocol stack."""
+
+    def __init__(
+        self,
+        port: int,
+        stack_factory: Callable[["AsyncioNode"], Sequence[Protocol]],
+        address_book: Optional[AddressBook] = None,
+        seed: int = 0,
+        metrics: Optional[Metrics] = None,
+        bind_host: str = "127.0.0.1",
+    ):
+        self._node_id = node_id_for(bind_host, port)
+        self.bind_host = bind_host
+        self.port = port
+        self.stack_factory = stack_factory
+        self.address_book = address_book if address_book is not None else localhost_address_book
+        self._metrics = metrics if metrics is not None else Metrics()
+        self._rng = random.Random(f"{seed}/{port}")
+        self._durable: Dict[str, Any] = {}
+        self._codec = Codec()
+        self._protocols: Dict[str, Protocol] = {}
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._epoch = 0
+        self.running = False
+
+    # -- Host ------------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def now(self) -> float:
+        assert self._loop is not None, "node not started"
+        return self._loop.time()
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics
+
+    @property
+    def durable(self) -> Dict[str, Any]:
+        return self._durable
+
+    def send(self, dst: NodeId, protocol: str, message: Message) -> None:
+        if not self.running or self._transport is None:
+            return
+        try:
+            payload = self._codec.encode(self._node_id, protocol, message)
+        except CodecError:
+            self._metrics.counter("runtime.encode_errors").inc()
+            return
+        self._transport.sendto(payload, self.address_book(dst))
+        self._metrics.counter("net.sent.total").inc()
+        self._metrics.counter(f"net.sent.{protocol}").inc()
+        self._metrics.counter("net.bytes.total").inc(len(payload))
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
+        assert self._loop is not None, "node not started"
+        epoch = self._epoch
+
+        def fire() -> None:
+            if self.running and self._epoch == epoch:
+                callback()
+
+        return _TimerHandle(self._loop.call_later(delay, fire))
+
+    def protocol(self, name: str) -> Protocol:
+        try:
+            return self._protocols[name]
+        except KeyError:
+            raise KeyError(f"{self._node_id} has no protocol {name!r}") from None
+
+    def has_protocol(self, name: str) -> bool:
+        return name in self._protocols
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "AsyncioNode":
+        if self.running:
+            return self
+        self._loop = asyncio.get_running_loop()
+        transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: self, local_addr=(self.bind_host, self.port)
+        )
+        self._transport = transport
+        self._epoch += 1
+        self.running = True
+        self._protocols = {}
+        for proto in self.stack_factory(self):
+            if proto.name in self._protocols:
+                raise ValueError(f"duplicate protocol name {proto.name!r}")
+            proto.bind(self)
+            self._protocols[proto.name] = proto
+        for proto in self._protocols.values():
+            proto.on_start()
+        return self
+
+    def crash(self) -> None:
+        """Abrupt stop (no on_stop): soft state dies, durable survives."""
+        self.running = False
+        self._epoch += 1
+        self._protocols = {}
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def stop(self) -> None:
+        """Graceful shutdown."""
+        if not self.running:
+            return
+        for proto in self._protocols.values():
+            proto.on_stop()
+        self.crash()
+
+    # -- DatagramProtocol ----------------------------------------------------
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        if not self.running:
+            return
+        try:
+            envelope = self._codec.decode(data)
+        except CodecError:
+            self._metrics.counter("runtime.decode_errors").inc()
+            return
+        proto = self._protocols.get(envelope.protocol)
+        if proto is None:
+            self._metrics.counter("node.dropped.no_protocol").inc()
+            return
+        self._metrics.counter("net.delivered.total").inc()
+        proto.on_message(envelope.sender, envelope.message)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self._metrics.counter("runtime.socket_errors").inc()
+
+
+class LocalCluster:
+    """N AsyncioNodes on consecutive localhost ports, one event loop."""
+
+    def __init__(
+        self,
+        count: int,
+        stack_factory: Callable[[AsyncioNode], Sequence[Protocol]],
+        base_port: int = 29000,
+        seed: int = 0,
+    ):
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.metrics = Metrics()
+        self.nodes: List[AsyncioNode] = [
+            AsyncioNode(base_port + i, stack_factory, seed=seed, metrics=self.metrics)
+            for i in range(count)
+        ]
+
+    async def start(self, seed_views: int = 4) -> "LocalCluster":
+        for node in self.nodes:
+            await node.start()
+        if seed_views > 0:
+            ids = [n.node_id for n in self.nodes]
+            rng = random.Random(1)
+            for node in self.nodes:
+                peers = [p for p in ids if p != node.node_id]
+                sample = rng.sample(peers, min(seed_views, len(peers)))
+                if node.has_protocol("membership"):
+                    node.protocol("membership").seed(sample)  # type: ignore[attr-defined]
+        return self
+
+    async def run_for(self, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+
+    def stop(self) -> None:
+        for node in self.nodes:
+            node.stop()

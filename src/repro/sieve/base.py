@@ -1,0 +1,91 @@
+"""Sieve interface (paper §III-A).
+
+A *sieve* is the local decision rule of the global-dissemination /
+local-decision strategy: every node sees (a large fraction of) all
+writes go by and keeps only the items its sieve admits. The paper's
+correctness requirement is coverage — every point of the key space must
+be admitted by some node's sieve — and its replication strategy is to
+size sieves so that ~r nodes admit each item.
+
+Sieves are *deterministic* in (node identity, item): re-evaluating the
+same item at the same node always answers the same, so repair,
+anti-entropy and read routing can re-derive responsibility at any time
+without having to remember past coin flips.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Mapping, Optional
+
+#: An item's attributes as seen by sieves (key, value fields, tags...).
+Record = Mapping[str, Any]
+
+
+class Sieve(ABC):
+    """Local retention rule for one storage node."""
+
+    @abstractmethod
+    def admits(self, item_id: str, record: Record) -> bool:
+        """Whether this node should keep the item."""
+
+    def range_key(self) -> Optional[Hashable]:
+        """Identity of the sieve *range* this node covers, or None.
+
+        Nodes sharing a range_key are mutual replicas for every item the
+        range admits; redundancy maintenance counts nodes per range_key
+        (one short random walk per range rather than one per tuple —
+        claim C4) and repairs directly between them. Pure probabilistic
+        sieves have no range and return None, which forces the more
+        expensive per-item repair path — exactly the contrast the paper
+        draws."""
+        return None
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable summary for logs and experiment reports."""
+
+
+class AcceptAllSieve(Sieve):
+    """Keeps everything. Baseline/testing sieve (a cache node, in effect)."""
+
+    def admits(self, item_id: str, record: Record) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "accept-all"
+
+
+class AcceptNothingSieve(Sieve):
+    """Keeps nothing — a pure relay node (e.g. dedicated gossip router)."""
+
+    def admits(self, item_id: str, record: Record) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "accept-nothing"
+
+
+class UnionSieve(Sieve):
+    """Admits what any constituent sieve admits.
+
+    Used to compose a primary key-space sieve with a correlation sieve,
+    or to give a high-capacity node several ranges (the paper's 'adjust
+    the sieve grain to node capacity')."""
+
+    def __init__(self, *sieves: Sieve):
+        if not sieves:
+            raise ValueError("UnionSieve needs at least one sieve")
+        self.sieves = sieves
+
+    def admits(self, item_id: str, record: Record) -> bool:
+        return any(s.admits(item_id, record) for s in self.sieves)
+
+    def range_key(self) -> Optional[Hashable]:
+        keys = tuple(s.range_key() for s in self.sieves)
+        if all(k is None for k in keys):
+            return None
+        return keys
+
+    def describe(self) -> str:
+        return " | ".join(s.describe() for s in self.sieves)

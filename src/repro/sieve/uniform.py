@@ -1,0 +1,50 @@
+"""Uniform probabilistic sieve — the paper's simplest proposal.
+
+"A simple sieve function could simply store locally an item with
+probability given by 1/number_of_nodes [...] extended to take into
+account the replication degree, r, as r/number_of_nodes." (§III-A)
+
+The number of nodes comes from the epidemic size estimator. To keep the
+decision deterministic per (node, item) — see :mod:`repro.sieve.base` —
+the coin flip is a stable hash of (node id, item id) compared against
+the retention probability, so re-evaluations agree and two nodes'
+decisions are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.hashing import KEYSPACE_SIZE, key_hash
+from repro.common.ids import NodeId
+from repro.sieve.base import Record, Sieve
+
+
+class UniformSieve(Sieve):
+    """Keep each item with probability ``replication / N_estimate``.
+
+    Args:
+        node_id: identity used to decorrelate decisions across nodes.
+        replication: target copies per item (the paper's *r*).
+        size_estimate_fn: live callable returning the current estimate
+            of N (typically ``ExtremaSizeEstimator.estimate``); the
+            retention probability adapts as the estimate moves.
+    """
+
+    def __init__(self, node_id: NodeId, replication: int, size_estimate_fn: Callable[[], float]):
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        self.node_id = node_id
+        self.replication = replication
+        self.size_estimate_fn = size_estimate_fn
+
+    def retention_probability(self) -> float:
+        n_estimate = max(1.0, float(self.size_estimate_fn()))
+        return min(1.0, self.replication / n_estimate)
+
+    def admits(self, item_id: str, record: Record) -> bool:
+        draw = key_hash(f"sieve:{self.node_id.value}:{item_id}") / KEYSPACE_SIZE
+        return draw < self.retention_probability()
+
+    def describe(self) -> str:
+        return f"uniform(r={self.replication}, p={self.retention_probability():.2e})"

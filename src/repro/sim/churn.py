@@ -1,0 +1,195 @@
+"""Churn models.
+
+The paper's core argument (§I, §III-A) is that at scale churn is the
+norm: transient crash/reboot events dominate, permanent failures are
+comparatively rare, and failure rates grow with system size. These
+models expose exactly those knobs.
+
+* :class:`PoissonChurn` — memoryless crash arrivals over the whole
+  population; each victim is DOWN for an exponential time unless the
+  failure is permanent (with configurable probability). Permanently dead
+  nodes can optionally be replaced by fresh joins to keep the target
+  population, which is how long availability experiments stay stationary.
+* :class:`CatastrophicEvent` — crash a fraction of the system at one
+  instant (correlated failure), used by the soft-state recovery
+  experiment (E13).
+* :class:`TraceChurn` — replay an explicit (time, node, event) schedule,
+  for reproducible stress scenarios in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.cluster import Cluster
+from repro.sim.node import Node, NodeState, StackFactory
+from repro.sim.simulator import EventHandle, Simulation
+
+
+class PoissonChurn:
+    """Poisson crash/recover process over a cluster.
+
+    Args:
+        sim: the simulation.
+        cluster: population under churn.
+        event_rate: expected crashes per second across the whole system.
+            (The paper's observation that failure rate grows with system
+            size is expressed by scaling this with ``len(cluster)``.)
+        mean_downtime: mean DOWN duration for transient failures.
+        permanent_fraction: probability a crash is permanent (DEAD).
+        replacement_factory: if given, every permanent death immediately
+            triggers a fresh node join built with this factory, keeping
+            the population size stationary.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        event_rate: float,
+        mean_downtime: float = 30.0,
+        permanent_fraction: float = 0.0,
+        replacement_factory: Optional[StackFactory] = None,
+    ):
+        if event_rate <= 0:
+            raise ValueError("event_rate must be positive")
+        if mean_downtime <= 0:
+            raise ValueError("mean_downtime must be positive")
+        if not 0 <= permanent_fraction <= 1:
+            raise ValueError("permanent_fraction must be in [0, 1]")
+        self.sim = sim
+        self.cluster = cluster
+        self.event_rate = event_rate
+        self.mean_downtime = mean_downtime
+        self.permanent_fraction = permanent_fraction
+        self.replacement_factory = replacement_factory
+        self._rng = sim.rng("churn")
+        self._running = False
+        self._next: Optional[EventHandle] = None
+        self.crashes = 0
+        self.permanent_deaths = 0
+        self.recoveries = 0
+        self.joins = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        delay = self._rng.expovariate(self.event_rate)
+        self._next = self.sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        victim = self.cluster.random_up_node()
+        if victim is not None:
+            self._crash(victim)
+        self._schedule_next()
+
+    def _crash(self, victim: Node) -> None:
+        permanent = self._rng.random() < self.permanent_fraction
+        victim.crash(permanent=permanent)
+        self.crashes += 1
+        self.cluster.metrics.counter("churn.crashes").inc()
+        if permanent:
+            self.permanent_deaths += 1
+            self.cluster.metrics.counter("churn.permanent").inc()
+            if self.replacement_factory is not None:
+                self.cluster.add_node(self.replacement_factory)
+                self.joins += 1
+                self.cluster.metrics.counter("churn.joins").inc()
+        else:
+            downtime = self._rng.expovariate(1.0 / self.mean_downtime)
+            self.sim.schedule(downtime, lambda: self._recover(victim))
+
+    def _recover(self, node: Node) -> None:
+        if node.state is NodeState.DOWN:
+            node.boot()
+            self.recoveries += 1
+            self.cluster.metrics.counter("churn.recoveries").inc()
+
+
+class CatastrophicEvent:
+    """Crash a fraction of the population at a fixed virtual time."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        at_time: float,
+        fraction: float,
+        permanent: bool = False,
+        recover_after: Optional[float] = None,
+    ):
+        if recover_after is not None and permanent:
+            raise ValueError("permanent victims cannot recover")
+        self.cluster = cluster
+        self.fraction = fraction
+        self.permanent = permanent
+        self.recover_after = recover_after
+        self.victims: List[Node] = []
+        sim.schedule_at(at_time, self._fire)
+        self._sim = sim
+
+    def _fire(self) -> None:
+        self.victims = self.cluster.crash_fraction(self.fraction, permanent=self.permanent)
+        if self.recover_after is not None:
+            self._sim.schedule(self.recover_after, self._recover)
+
+    def _recover(self) -> None:
+        for node in self.victims:
+            if node.state is NodeState.DOWN:
+                node.boot()
+
+
+@dataclass(frozen=True)
+class ChurnAction:
+    """One scripted churn step: ``kind`` is 'crash', 'kill' or 'recover'."""
+
+    time: float
+    node_index: int
+    kind: str
+
+
+class TraceChurn:
+    """Replay an explicit churn schedule (deterministic tests)."""
+
+    def __init__(self, sim: Simulation, cluster: Cluster, actions: Sequence[ChurnAction]):
+        self.cluster = cluster
+        for action in actions:
+            if action.kind not in ("crash", "kill", "recover"):
+                raise ValueError(f"unknown churn action kind {action.kind!r}")
+            sim.schedule_at(action.time, lambda a=action: self._apply(a))
+
+    def _apply(self, action: ChurnAction) -> None:
+        nodes = self.cluster.nodes()
+        if not 0 <= action.node_index < len(nodes):
+            raise IndexError(f"churn trace references unknown node {action.node_index}")
+        node = nodes[action.node_index]
+        if action.kind == "crash" and node.is_up:
+            node.crash(permanent=False)
+        elif action.kind == "kill":
+            node.crash(permanent=True)
+        elif action.kind == "recover" and node.state is NodeState.DOWN:
+            node.boot()
+
+
+def downtime_availability(up_samples: Sequence[Tuple[float, int]], population: int) -> float:
+    """Average fraction of nodes UP over (time, up_count) samples."""
+    if not up_samples or population <= 0:
+        return 0.0
+    return sum(count for _, count in up_samples) / (len(up_samples) * population)

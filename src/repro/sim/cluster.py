@@ -1,0 +1,146 @@
+"""Cluster helper: builds and tracks a population of simulated nodes.
+
+The cluster assigns dense node ids, boots nodes, and provides the
+bootstrap sampling used to seed membership protocols (standing in for
+the out-of-band introduction service every gossip deployment has).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.ids import NodeId
+from repro.sim.metrics import Metrics
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import Node, NodeState, StackFactory
+from repro.sim.simulator import Simulation
+
+
+class Cluster:
+    """A managed set of nodes sharing one simulation and network."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: Optional[Network] = None,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        self.sim = sim
+        if network is not None:
+            self.network = network
+        else:
+            self.network = Network(sim, latency=latency, loss_rate=loss_rate, metrics=metrics)
+        self.metrics = self.network.metrics
+        self._nodes: Dict[NodeId, Node] = {}
+        self._next_id = 0
+        self._rng = sim.rng("cluster")
+
+    @classmethod
+    def view_of(cls, sim: Simulation, network: Network, nodes: Sequence[Node], rng_stream: str = "cluster-view") -> "Cluster":
+        """A Cluster facade over an existing subset of nodes.
+
+        Used to point churn processes or population queries at one layer
+        of a larger deployment (e.g. only the storage nodes). Nodes added
+        through the view get ids continuing after the subset's maximum."""
+        view = cls(sim, network=network)
+        view._nodes = {n.node_id: n for n in nodes}
+        view._next_id = max((n.node_id.value for n in nodes), default=-1) + 1
+        view._rng = sim.rng(rng_stream)
+        return view
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        stack_factory: StackFactory,
+        label: Optional[str] = None,
+        boot: bool = True,
+    ) -> Node:
+        node_id = NodeId(self._next_id, label)
+        self._next_id += 1
+        node = Node(node_id, self.sim, self.network, stack_factory)
+        self._nodes[node_id] = node
+        if boot:
+            node.boot()
+        return node
+
+    def add_nodes(
+        self,
+        count: int,
+        stack_factory: StackFactory,
+        label_prefix: Optional[str] = None,
+        boot: bool = True,
+    ) -> List[Node]:
+        return [
+            self.add_node(
+                stack_factory,
+                label=None if label_prefix is None else f"{label_prefix}{i}",
+                boot=boot,
+            )
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: NodeId) -> Node:
+        return self._nodes[node_id]
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._nodes.keys())
+
+    def up_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.is_up]
+
+    def up_ids(self) -> List[NodeId]:
+        return [n.node_id for n in self._nodes.values() if n.is_up]
+
+    def live_nodes(self) -> List[Node]:
+        """Nodes that are not permanently dead (UP or DOWN)."""
+        return [n for n in self._nodes.values() if n.state is not NodeState.DEAD]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    def random_up_node(self) -> Optional[Node]:
+        up = self.up_nodes()
+        if not up:
+            return None
+        return self._rng.choice(up)
+
+    def bootstrap_sample(self, k: int, exclude: Optional[NodeId] = None) -> List[NodeId]:
+        """Sample up to ``k`` distinct UP node ids (the introducer service)."""
+        candidates = [nid for nid in self.up_ids() if nid != exclude]
+        if len(candidates) <= k:
+            return candidates
+        return self._rng.sample(candidates, k)
+
+    def seed_views(self, protocol_name: str, view_size: int) -> None:
+        """Seed every node's membership view with random live peers.
+
+        Convenience for experiments that want to start from an already
+        connected overlay rather than simulate the join sequence.
+        The target protocol must expose ``seed(peers: Sequence[NodeId])``.
+        """
+        for node in self.up_nodes():
+            peers = self.bootstrap_sample(view_size, exclude=node.node_id)
+            node.protocol(protocol_name).seed(peers)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def crash_fraction(self, fraction: float, permanent: bool = False) -> List[Node]:
+        """Crash a uniformly random ``fraction`` of UP nodes at once.
+
+        Models the catastrophic correlated failures (rack/PDU loss) the
+        paper's soft-state reconstruction story is about.
+        """
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+        up = self.up_nodes()
+        count = int(round(len(up) * fraction))
+        victims = self._rng.sample(up, count) if count < len(up) else list(up)
+        for node in victims:
+            node.crash(permanent=permanent)
+        return victims

@@ -1,0 +1,170 @@
+"""Lightweight metrics registry shared by simulator and protocols.
+
+Benchmarks read these counters to report dissemination cost, repair
+traffic, cache hit rates and the like. The registry is deliberately
+simple — counters, gauges, histograms with summary statistics, and
+time-series samples — because everything downstream is offline analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Accumulates observations; exposes summary statistics."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, q in [0, 100]."""
+        if not self._values:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def stddev(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1))
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+
+@dataclass
+class Sample:
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """Timestamped samples, for convergence plots."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: List[Sample] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._samples.append(Sample(time, value))
+
+    def samples(self) -> List[Sample]:
+        return list(self._samples)
+
+    def last(self) -> Optional[Sample]:
+        return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+@dataclass
+class Metrics:
+    """Namespaced registry of counters/gauges/histograms/series."""
+
+    counters: Dict[str, Counter] = field(default_factory=lambda: defaultdict(Counter))
+    gauges: Dict[str, Gauge] = field(default_factory=lambda: defaultdict(Gauge))
+    histograms: Dict[str, Histogram] = field(default_factory=lambda: defaultdict(Histogram))
+    series: Dict[str, TimeSeries] = field(default_factory=lambda: defaultdict(TimeSeries))
+
+    def counter(self, name: str) -> Counter:
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self.series[name]
+
+    def counter_value(self, name: str) -> float:
+        """Read a counter without creating it."""
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name->value view of counters and gauges (for reports)."""
+        flat = {name: c.value for name, c in self.counters.items()}
+        flat.update({name: g.value for name, g in self.gauges.items()})
+        return flat
+
+    def report(self, prefixes: Optional[Iterable[str]] = None) -> str:
+        """Human-readable dump, optionally filtered by name prefixes."""
+        lines: List[Tuple[str, str]] = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append((name, f"{counter.value:g}"))
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append((name, f"{gauge.value:g}"))
+        for name, hist in sorted(self.histograms.items()):
+            lines.append((name, f"n={hist.count} mean={hist.mean:.4g} p99={hist.percentile(99):.4g}"))
+        if prefixes is not None:
+            wanted = tuple(prefixes)
+            lines = [(n, v) for n, v in lines if n.startswith(wanted)]
+        width = max((len(n) for n, _ in lines), default=0)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in lines)

@@ -1,0 +1,158 @@
+"""Simulated message-passing network.
+
+The network delivers protocol messages between nodes with configurable
+latency, loss and partitions. Delivery is point-to-point and unordered
+(like UDP, which is also what the asyncio runtime uses): two messages
+between the same pair may be reordered if their sampled latencies cross.
+That matches the fault model the paper's epidemic protocols are designed
+for — they must tolerate loss and reordering natively.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message
+from repro.sim.metrics import Metrics
+from repro.sim.simulator import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.node import Node
+
+
+class LatencyModel:
+    """Strategy producing a one-way delay sample per message."""
+
+    def sample(self, rng: random.Random, src: NodeId, dst: NodeId) -> float:
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay — useful for fully deterministic unit tests."""
+
+    def __init__(self, delay: float = 0.01):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng: random.Random, src: NodeId, dst: NodeId) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float = 0.01, high: float = 0.1):
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, src: NodeId, dst: NodeId) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delay, a common fit for wide-area RTT distributions."""
+
+    def __init__(self, median: float = 0.05, sigma: float = 0.5, cap: float = 2.0):
+        if median <= 0 or sigma < 0 or cap <= 0:
+            raise ValueError("median and cap must be positive, sigma non-negative")
+        import math
+
+        self._mu = math.log(median)
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, rng: random.Random, src: NodeId, dst: NodeId) -> float:
+        return min(self.cap, rng.lognormvariate(self._mu, self.sigma))
+
+
+class Network:
+    """Routes messages between registered nodes through the simulator.
+
+    Args:
+        sim: owning simulation (provides clock and the ``network`` RNG
+            stream).
+        latency: one-way delay model.
+        loss_rate: probability each message is silently dropped.
+        metrics: registry charged with per-protocol message/byte counts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency if latency is not None else UniformLatency()
+        self.loss_rate = loss_rate
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._nodes: Dict[NodeId, "Node"] = {}
+        self._rng = sim.rng("network")
+        # Optional reachability predicate for partitions: return False to
+        # block (src, dst). None means fully connected.
+        self._reachable: Optional[Callable[[NodeId, NodeId], bool]] = None
+
+    # ------------------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def unregister(self, node_id: NodeId) -> None:
+        self._nodes.pop(node_id, None)
+
+    def node(self, node_id: NodeId) -> Optional["Node"]:
+        return self._nodes.get(node_id)
+
+    def set_partition(self, reachable: Optional[Callable[[NodeId, NodeId], bool]]) -> None:
+        """Install (or clear, with None) a reachability predicate."""
+        self._reachable = reachable
+
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
+        """Send one message; may be dropped, delayed and reordered.
+
+        Sends to unknown or self destinations are counted but dropped —
+        epidemic protocols routinely gossip to stale descriptors, and
+        that must behave like talking to a dead host, not crash the sim.
+        """
+        self.metrics.counter(f"net.sent.{protocol}").inc()
+        self.metrics.counter("net.sent.total").inc()
+        self.metrics.counter("net.bytes.total").inc(message.size_bytes())
+        self.metrics.counter(f"net.bytes.{protocol}").inc(message.size_bytes())
+        if dst not in self._nodes:
+            self.metrics.counter("net.dropped.unknown_dest").inc()
+            return
+        if self._reachable is not None and not self._reachable(src, dst):
+            self.metrics.counter("net.dropped.partition").inc()
+            return
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.metrics.counter("net.dropped.loss").inc()
+            return
+        delay = self.latency.sample(self._rng, src, dst)
+        self.sim.schedule(delay, lambda: self._deliver(src, dst, protocol, message))
+
+    def _deliver(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
+        node = self._nodes.get(dst)
+        if node is None or not node.is_up:
+            self.metrics.counter("net.dropped.node_down").inc()
+            return
+        self.metrics.counter("net.delivered.total").inc()
+        node.handle_message(src, protocol, message)
+
+    # ------------------------------------------------------------------
+    @property
+    def message_count(self) -> float:
+        return self.metrics.counter_value("net.sent.total")
+
+    @property
+    def byte_count(self) -> float:
+        return self.metrics.counter_value("net.bytes.total")

@@ -1,0 +1,122 @@
+"""Consistent-hashing ring for the soft-state layer.
+
+The paper keeps the *soft-state* layer structured: "a structured
+DHT-based approach where nodes partition the key-space among themselves
+in order to achieve load-balancing and unequivocal responsibility for
+partitions" (§II). The layer is "moderately sized", so a full-view ring
+with virtual nodes (à la Chord/Dynamo) is appropriate — the epidemic
+machinery is reserved for the large persistent layer below.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.hashing import Arc, key_hash
+from repro.common.ids import NodeId
+
+
+class ConsistentHashRing:
+    """Maps keys to coordinator nodes via virtual-node hashing.
+
+    Args:
+        virtual_nodes: ring positions per member; more virtual nodes
+            smooth the partition sizes.
+    """
+
+    def __init__(self, virtual_nodes: int = 32):
+        if virtual_nodes <= 0:
+            raise ValueError("virtual_nodes must be positive")
+        self.virtual_nodes = virtual_nodes
+        self._members: Dict[NodeId, bool] = {}  # node -> alive
+        self._positions: List[Tuple[int, NodeId]] = []  # sorted
+
+    # ------------------------------------------------------------------
+    def add(self, node_id: NodeId) -> None:
+        if node_id in self._members:
+            self._members[node_id] = True
+            return
+        self._members[node_id] = True
+        for replica in range(self.virtual_nodes):
+            position = key_hash(f"ring:{node_id.value}:{replica}")
+            bisect.insort(self._positions, (position, node_id))
+
+    def remove(self, node_id: NodeId) -> None:
+        """Remove permanently (positions are withdrawn)."""
+        if node_id not in self._members:
+            return
+        del self._members[node_id]
+        self._positions = [(p, n) for p, n in self._positions if n != node_id]
+
+    def set_alive(self, node_id: NodeId, alive: bool) -> None:
+        """Mark a member temporarily unavailable without moving the
+        partition map (responsibility resumes when it reboots)."""
+        if node_id in self._members:
+            self._members[node_id] = alive
+
+    def members(self) -> List[NodeId]:
+        return list(self._members)
+
+    def alive_members(self) -> List[NodeId]:
+        return [n for n, alive in self._members.items() if alive]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._members
+
+    # ------------------------------------------------------------------
+    def coordinator_for(self, key: str, alive_only: bool = True) -> Optional[NodeId]:
+        """The node owning ``key`` (first ring position clockwise).
+
+        With ``alive_only`` (the default) ownership skips to the next
+        alive member while the primary is down — requests must not wait
+        for a reboot."""
+        candidates = self.successors_for(key, count=len(self._members), alive_only=alive_only)
+        return candidates[0] if candidates else None
+
+    def successors_for(self, key: str, count: int, alive_only: bool = True) -> List[NodeId]:
+        """Up to ``count`` distinct members clockwise from the key."""
+        if not self._positions or count <= 0:
+            return []
+        position = key_hash(key)
+        index = bisect.bisect_right(self._positions, (position, NodeId(1 << 62)))
+        found: List[NodeId] = []
+        seen = set()
+        for step in range(len(self._positions)):
+            _, node = self._positions[(index + step) % len(self._positions)]
+            if node in seen:
+                continue
+            if alive_only and not self._members.get(node, False):
+                continue
+            seen.add(node)
+            found.append(node)
+            if len(found) >= count:
+                break
+        return found
+
+    # ------------------------------------------------------------------
+    def responsibility_of(self, node_id: NodeId) -> List[Arc]:
+        """The key-space arcs ``node_id`` currently owns (one per virtual
+        node; used by metadata reconstruction to scope its query)."""
+        if node_id not in self._members or not self._positions:
+            return []
+        arcs = []
+        for index, (position, owner) in enumerate(self._positions):
+            if owner != node_id:
+                continue
+            previous = self._positions[index - 1][0]
+            arcs.append(Arc(previous, position))
+        return arcs
+
+    def owns(self, node_id: NodeId, key: str, alive_only: bool = True) -> bool:
+        return self.coordinator_for(key, alive_only=alive_only) == node_id
+
+
+def build_ring(members: Sequence[NodeId], virtual_nodes: int = 32) -> ConsistentHashRing:
+    ring = ConsistentHashRing(virtual_nodes)
+    for member in members:
+        ring.add(member)
+    return ring

@@ -1,0 +1,19 @@
+"""Local storage: versioned tuples and the durable memtable."""
+
+from repro.store.memtable import Memtable
+from repro.store.tuples import (
+    ZERO_VERSION,
+    Version,
+    VersionedTuple,
+    make_tombstone,
+    make_tuple,
+)
+
+__all__ = [
+    "Memtable",
+    "Version",
+    "VersionedTuple",
+    "ZERO_VERSION",
+    "make_tombstone",
+    "make_tuple",
+]

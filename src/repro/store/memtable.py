@@ -1,0 +1,137 @@
+"""Durable local tuple store.
+
+One instance lives on each persistent-layer node, attached to the
+node's *durable* state so it survives transient crashes (the paper's
+churn model: "nodes suffer from transient faults solved with a reboot"
+— their disk contents come back with them). Permanent failures destroy
+it, which is what redundancy maintenance must then repair.
+
+The memtable implements the :class:`AntiEntropyStore` interface
+directly, so the same object plugs into gossip repair and same-range
+redundancy reconciliation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.epidemic.antientropy import AntiEntropyStore, VersionedItem
+from repro.store.tuples import Version, VersionedTuple
+
+
+class Memtable(AntiEntropyStore):
+    """Last-writer-wins versioned key-value store.
+
+    Args:
+        capacity: optional max tuple count. The paper's nodes have "low
+            capacity [...] despicable when compared to the total volume
+            of data"; when full, a put of a *new* key is refused (the
+            sieve grain, not eviction, is the intended control knob —
+            silently dropping accepted data would break the coverage
+            argument). Updates to existing keys always apply.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive when set")
+        self.capacity = capacity
+        self._tuples: Dict[str, VersionedTuple] = {}
+        self.rejected_puts = 0
+
+    # ------------------------------------------------------------------
+    def put(self, item: VersionedTuple) -> bool:
+        """Apply a write if it is newer than what is held.
+
+        Returns True when local state changed."""
+        current = self._tuples.get(item.key)
+        if current is not None and not item.newer_than(current):
+            return False
+        if current is None and self.is_full():
+            self.rejected_puts += 1
+            return False
+        self._tuples[item.key] = item
+        return True
+
+    def get(self, key: str) -> Optional[VersionedTuple]:
+        """Live tuple for ``key`` (tombstoned keys read as absent)."""
+        item = self._tuples.get(key)
+        if item is None or item.tombstone:
+            return None
+        return item
+
+    def get_any(self, key: str) -> Optional[VersionedTuple]:
+        """Tuple including tombstones (replication internals need these)."""
+        return self._tuples.get(key)
+
+    def delete(self, key: str) -> None:
+        """Drop a key outright (repair bookkeeping; clients use tombstones)."""
+        self._tuples.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._tuples) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[VersionedTuple]:
+        """All live tuples (no tombstones)."""
+        return (t for t in self._tuples.values() if not t.tombstone)
+
+    def all_items(self) -> Iterator[VersionedTuple]:
+        return iter(self._tuples.values())
+
+    def keys(self) -> List[str]:
+        return [t.key for t in self.items()]
+
+    def attribute_values(self, attribute: str) -> Iterator[Tuple[str, float]]:
+        """(key, numeric value) pairs — the HistogramEstimator's source."""
+        for item in self.items():
+            value = item.record.get(attribute)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                yield item.key, float(value)
+
+    def scan(
+        self,
+        attribute: str,
+        low: float,
+        high: float,
+    ) -> List[VersionedTuple]:
+        """Live tuples with ``low <= record[attribute] <= high``."""
+        matches = []
+        for item in self.items():
+            value = item.record.get(attribute)
+            if isinstance(value, (int, float)) and not isinstance(value, bool) and low <= value <= high:
+                matches.append(item)
+        return matches
+
+    # ------------------------------------------------------------------
+    # AntiEntropyStore interface (digests use packed integer versions)
+    # ------------------------------------------------------------------
+    def digest(self) -> Dict[str, int]:
+        return {key: item.version.packed() for key, item in self._tuples.items()}
+
+    def fetch(self, item_ids: Iterable[str]) -> List[VersionedItem]:
+        out: List[VersionedItem] = []
+        for key in item_ids:
+            item = self._tuples.get(key)
+            if item is not None:
+                out.append((key, item.version.packed(), (dict(item.record), item.tombstone)))
+        return out
+
+    def apply(self, items: Iterable[VersionedItem]) -> int:
+        changed = 0
+        for key, packed, payload in items:
+            record, tombstone = payload
+            incoming = VersionedTuple(
+                key=key,
+                version=Version.unpacked(packed),
+                record=dict(record),
+                tombstone=bool(tombstone),
+            )
+            if self.put(incoming):
+                changed += 1
+        return changed

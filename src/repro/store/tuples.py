@@ -1,0 +1,84 @@
+"""Versioned tuple model.
+
+The paper assumes "simple read and write operations [...] ordered and
+identified with a request version" assigned by the soft-state layer
+(§II, §III). A :class:`Version` is a (sequence, coordinator) pair —
+sequence numbers are per-key and monotone at the coordinating soft-state
+node; the coordinator id breaks ties if coordination moves during a
+catastrophic failure. Storage nodes resolve conflicts last-writer-wins
+by version, which is safe exactly because the upper layer orders writes
+(the paper's stated assumption for the persistent layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.common.messages import wire_struct
+
+#: Coordinator ids are packed into the low bits of an integer version
+#: for digest exchange; 2**20 coordinators is far beyond the paper's
+#: "moderately sized" soft-state layer.
+_COORD_BITS = 20
+_COORD_MASK = (1 << _COORD_BITS) - 1
+
+
+@wire_struct
+@dataclass(frozen=True, order=True)
+class Version:
+    """Total order over writes of one key: (sequence, coordinator)."""
+
+    sequence: int
+    coordinator: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ValueError("sequence must be non-negative")
+        if not 0 <= self.coordinator <= _COORD_MASK:
+            raise ValueError(f"coordinator must fit in {_COORD_BITS} bits")
+
+    def packed(self) -> int:
+        """Single-integer encoding preserving the order."""
+        return (self.sequence << _COORD_BITS) | self.coordinator
+
+    @staticmethod
+    def unpacked(value: int) -> "Version":
+        return Version(value >> _COORD_BITS, value & _COORD_MASK)
+
+    def next(self, coordinator: int) -> "Version":
+        return Version(self.sequence + 1, coordinator)
+
+
+#: The version of a key that has never been written.
+ZERO_VERSION = Version(0, 0)
+
+
+@wire_struct
+@dataclass(frozen=True)
+class VersionedTuple:
+    """One key's state at one version.
+
+    ``record`` carries the application attributes (used by sieves,
+    secondary indexes and scans). ``tombstone`` marks deletions — they
+    must disseminate like writes so replicas converge."""
+
+    key: str
+    version: Version
+    record: Dict[str, Any] = field(default_factory=dict)
+    tombstone: bool = False
+
+    def newer_than(self, other: Optional["VersionedTuple"]) -> bool:
+        return other is None or self.version > other.version
+
+    def attribute(self, name: str) -> Optional[Any]:
+        return self.record.get(name)
+
+
+def make_tuple(key: str, record: Mapping[str, Any], version: Version) -> VersionedTuple:
+    """Build a tuple, defensively copying the record mapping."""
+    return VersionedTuple(key=key, version=version, record=dict(record))
+
+
+def make_tombstone(key: str, version: Version) -> VersionedTuple:
+    return VersionedTuple(key=key, version=version, record={}, tombstone=True)

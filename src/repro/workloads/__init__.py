@@ -1,0 +1,37 @@
+"""Workload generation: datasets, popularity skew, operation mixes, and
+failure models derived from the field studies the paper cites."""
+
+from repro.workloads.failures import (
+    COMMODITY_2011,
+    DESKTOP_GRADE,
+    HardwareProfile,
+    accelerated,
+)
+
+from repro.workloads.generators import (
+    MixRatios,
+    Operation,
+    OperationStream,
+    apply_operation,
+    normal_records,
+    normal_values,
+    uniform_records,
+    user_events,
+    zipf_sampler,
+)
+
+__all__ = [
+    "COMMODITY_2011",
+    "DESKTOP_GRADE",
+    "HardwareProfile",
+    "accelerated",
+    "MixRatios",
+    "Operation",
+    "OperationStream",
+    "apply_operation",
+    "normal_records",
+    "normal_values",
+    "uniform_records",
+    "user_events",
+    "zipf_sampler",
+]

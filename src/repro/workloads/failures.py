@@ -1,0 +1,133 @@
+"""Failure models from the field studies the paper cites (§I).
+
+The paper grounds its churn-is-the-norm argument in three studies:
+
+* [10] Schroeder, Pinheiro, Weber — DRAM error rates up to ~8%/year
+  per DIMM;
+* [11] Schroeder, Gibson — disk replacement rates of 2–13%/year
+  ("what does an MTTF of 1,000,000 hours mean to you?");
+* [12] Schroeder, Gibson — HPC failure rates grow at least linearly
+  with system size.
+
+This module turns those headline rates into the parameters of the
+simulator's churn processes, so experiments can say "a 10 000-node
+system with 2011-grade hardware" instead of picking arbitrary rates.
+All conversions assume independent exponential lifetimes (the studies
+document burstiness and correlation; treat these as lower bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Annualised failure/replacement rates of one node's components.
+
+    Attributes:
+        disk_arr: annual disk replacement rate (study [11]: 0.02–0.13).
+        dram_uce_rate: annual rate of uncorrectable DRAM errors forcing
+            a crash (derived from [10]).
+        transient_reboots_per_year: OS crashes / kernel panics /
+            maintenance reboots (dominating term in practice; [12]
+            measures ~0.1–0.7 failures per node-year in HPC).
+        mean_reboot_seconds: downtime of a transient failure.
+    """
+
+    disk_arr: float = 0.04
+    dram_uce_rate: float = 0.02
+    transient_reboots_per_year: float = 6.0
+    mean_reboot_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        for name in ("disk_arr", "dram_uce_rate", "transient_reboots_per_year"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.mean_reboot_seconds <= 0:
+            raise ValueError("mean_reboot_seconds must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def permanent_rate_per_node_year(self) -> float:
+        """Events that lose the node's durable state (disk death, or a
+        DRAM fault bad enough to retire the machine)."""
+        return self.disk_arr + self.dram_uce_rate
+
+    @property
+    def transient_rate_per_node_year(self) -> float:
+        return self.transient_reboots_per_year
+
+    @property
+    def total_rate_per_node_year(self) -> float:
+        return self.permanent_rate_per_node_year + self.transient_rate_per_node_year
+
+    @property
+    def permanent_fraction(self) -> float:
+        """Fraction of failures that are permanent — the paper: 'it is
+        more likely that nodes suffer from transient faults solved with
+        a reboot than from permanent failures'."""
+        total = self.total_rate_per_node_year
+        return self.permanent_rate_per_node_year / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def churn_event_rate(self, n_nodes: int) -> float:
+        """System-wide failure events per *second* — grows linearly with
+        size, per [12]. Plug straight into PoissonChurn(event_rate=...)."""
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        return n_nodes * self.total_rate_per_node_year / SECONDS_PER_YEAR
+
+    def expected_concurrent_failures(self, n_nodes: int) -> float:
+        """Mean number of nodes down at any instant (Little's law)."""
+        return (
+            n_nodes
+            * self.transient_rate_per_node_year
+            * self.mean_reboot_seconds
+            / SECONDS_PER_YEAR
+        )
+
+    def survival_probability(self, replication: int, window_seconds: float) -> float:
+        """P(at least one of r independent replicas keeps its data
+        through a window) — the back-of-envelope the paper's redundancy
+        sizing needs."""
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        per_replica_loss = 1.0 - math.exp(
+            -self.permanent_rate_per_node_year * window_seconds / SECONDS_PER_YEAR
+        )
+        return 1.0 - per_replica_loss**replication
+
+
+#: The paper's 2011-era commodity server (midpoints of the cited ranges).
+COMMODITY_2011 = HardwareProfile(
+    disk_arr=0.06,  # [11]: 2-13%/year in the field
+    dram_uce_rate=0.04,  # [10]: ~8%/year of DIMMs see errors; ~half correctable
+    transient_reboots_per_year=12.0,
+    mean_reboot_seconds=300.0,
+)
+
+#: A flakier environment: desktop-grade hardware / volunteer computing.
+DESKTOP_GRADE = HardwareProfile(
+    disk_arr=0.13,
+    dram_uce_rate=0.08,
+    transient_reboots_per_year=100.0,
+    mean_reboot_seconds=1800.0,
+)
+
+
+def accelerated(profile: HardwareProfile, factor: float) -> HardwareProfile:
+    """Time-compress a profile for simulation (rates x factor, downtime
+    / factor) — lets a 120-virtual-second experiment exercise a year's
+    worth of failures with the same stationary failure mix."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return HardwareProfile(
+        disk_arr=profile.disk_arr * factor,
+        dram_uce_rate=profile.dram_uce_rate * factor,
+        transient_reboots_per_year=profile.transient_reboots_per_year * factor,
+        mean_reboot_seconds=max(1.0, profile.mean_reboot_seconds / factor),
+    )

@@ -1,0 +1,219 @@
+"""Workload generators.
+
+Deterministic (seeded) generators for the kinds of data and request
+streams the paper's motivating scenarios imply: uniform and skewed
+(zipf) key popularity, normally distributed attribute values (the
+paper's own example for distribution-aware sieves, §III-B1), and a
+social-network-style correlated workload (user timelines) for the
+collocation experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+def zipf_sampler(n_items: int, theta: float, rng: random.Random) -> Callable[[], int]:
+    """Sample ranks in [0, n_items) with zipfian popularity.
+
+    Uses the inverse-CDF over precomputed harmonic weights — exact, and
+    fast enough for benchmark-scale n."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    weights = [1.0 / (rank + 1) ** theta for rank in range(n_items)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total)
+
+    def sample() -> int:
+        u = rng.random()
+        lo, hi = 0, n_items - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample
+
+
+def normal_values(count: int, mean: float, stddev: float, rng: random.Random,
+                  lo: Optional[float] = None, hi: Optional[float] = None) -> List[float]:
+    """Clipped normal attribute values — the paper's running example of a
+    non-uniform value distribution."""
+    out = []
+    for _ in range(count):
+        v = rng.gauss(mean, stddev)
+        if lo is not None:
+            v = max(lo, v)
+        if hi is not None:
+            v = min(hi, v)
+        out.append(v)
+    return out
+
+
+def uniform_records(count: int, rng: random.Random, attribute: str = "value",
+                    lo: float = 0.0, hi: float = 100.0,
+                    key_prefix: str = "item") -> List[Tuple[str, Dict[str, Any]]]:
+    """(key, record) pairs with one uniform numeric attribute."""
+    return [
+        (f"{key_prefix}:{i}", {attribute: rng.uniform(lo, hi)})
+        for i in range(count)
+    ]
+
+
+def normal_records(count: int, rng: random.Random, attribute: str = "value",
+                   mean: float = 50.0, stddev: float = 12.0,
+                   lo: float = 0.0, hi: float = 100.0,
+                   key_prefix: str = "item") -> List[Tuple[str, Dict[str, Any]]]:
+    """(key, record) pairs with a clipped-normal numeric attribute."""
+    values = normal_values(count, mean, stddev, rng, lo, hi)
+    return [
+        (f"{key_prefix}:{i}", {attribute: value})
+        for i, value in enumerate(values)
+    ]
+
+
+def user_events(n_users: int, events_per_user: int, rng: random.Random) -> List[Tuple[str, Dict[str, Any]]]:
+    """Social-style correlated data: each user's events share the user's
+    key prefix and a ``user`` field, so both prefix- and field-based
+    collocation sieves group them (experiment E12)."""
+    rows = []
+    for user in range(n_users):
+        for event in range(events_per_user):
+            key = f"user{user}:event{event}"
+            rows.append(
+                (
+                    key,
+                    {
+                        "user": f"user{user}",
+                        "ts": rng.uniform(0, 1_000_000),
+                        "score": rng.gauss(0, 1),
+                    },
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated client operation."""
+
+    kind: str  # "put" | "get" | "delete" | "multi_get" | "scan"
+    key: Optional[str] = None
+    record: Optional[Dict[str, Any]] = None
+    keys: Tuple[str, ...] = ()
+    attribute: Optional[str] = None
+    low: float = 0.0
+    high: float = 0.0
+
+
+@dataclass(frozen=True)
+class MixRatios:
+    """YCSB-flavoured operation mix (fractions must sum to <= 1; the
+    remainder is reads)."""
+
+    update_fraction: float = 0.2
+    scan_fraction: float = 0.0
+    multiget_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.update_fraction + self.scan_fraction + self.multiget_fraction
+        if not 0 <= total <= 1:
+            raise ValueError("fractions must sum to at most 1")
+
+
+class OperationStream:
+    """Deterministic stream of operations over a fixed key population.
+
+    Args:
+        dataset: the (key, record) population (records are templates;
+            updates bump a counter field to create new versions).
+        mix: operation ratios.
+        zipf_theta: key popularity skew (0 = uniform).
+        scan_attribute / scan_span: used when the mix includes scans.
+    """
+
+    def __init__(
+        self,
+        dataset: Sequence[Tuple[str, Dict[str, Any]]],
+        mix: MixRatios,
+        seed: int = 7,
+        zipf_theta: float = 0.0,
+        scan_attribute: Optional[str] = None,
+        scan_lo: float = 0.0,
+        scan_hi: float = 100.0,
+        scan_span: float = 10.0,
+        multiget_size: int = 5,
+    ):
+        if not dataset:
+            raise ValueError("dataset must be non-empty")
+        self.dataset = list(dataset)
+        self.mix = mix
+        self.rng = random.Random(seed)
+        self._pick = zipf_sampler(len(self.dataset), zipf_theta, self.rng)
+        self.scan_attribute = scan_attribute
+        self.scan_lo = scan_lo
+        self.scan_hi = scan_hi
+        self.scan_span = scan_span
+        self.multiget_size = multiget_size
+        self._update_counter = 0
+
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
+            yield self.next_operation()
+
+    def take(self, count: int) -> List[Operation]:
+        return [self.next_operation() for _ in range(count)]
+
+    def next_operation(self) -> Operation:
+        roll = self.rng.random()
+        mix = self.mix
+        if roll < mix.update_fraction:
+            key, record = self.dataset[self._pick()]
+            self._update_counter += 1
+            updated = dict(record, rev=self._update_counter)
+            return Operation("put", key=key, record=updated)
+        roll -= mix.update_fraction
+        if roll < mix.scan_fraction and self.scan_attribute is not None:
+            start = self.rng.uniform(self.scan_lo, max(self.scan_lo, self.scan_hi - self.scan_span))
+            return Operation(
+                "scan",
+                attribute=self.scan_attribute,
+                low=start,
+                high=min(self.scan_hi, start + self.scan_span),
+            )
+        roll -= mix.scan_fraction
+        if roll < mix.multiget_fraction:
+            base = self._pick()
+            keys = tuple(
+                self.dataset[(base + offset) % len(self.dataset)][0]
+                for offset in range(self.multiget_size)
+            )
+            return Operation("multi_get", keys=keys)
+        key, _ = self.dataset[self._pick()]
+        return Operation("get", key=key)
+
+
+def apply_operation(store, operation: Operation):
+    """Run one Operation against any store exposing the facade API."""
+    if operation.kind == "put":
+        return store.put(operation.key, operation.record or {})
+    if operation.kind == "get":
+        return store.get(operation.key)
+    if operation.kind == "delete":
+        return store.delete(operation.key)
+    if operation.kind == "multi_get":
+        return store.multi_get(list(operation.keys))
+    if operation.kind == "scan":
+        return store.scan(operation.attribute, operation.low, operation.high)
+    raise ValueError(f"unknown operation kind {operation.kind!r}")

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.membership import CyclonProtocol
+from repro.sim import Cluster, FixedLatency, Simulation, UniformLatency
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(seed=1234)
+
+
+@pytest.fixture
+def cluster(sim: Simulation) -> Cluster:
+    return Cluster(sim, latency=UniformLatency(0.005, 0.02))
+
+
+@pytest.fixture
+def fast_cluster(sim: Simulation) -> Cluster:
+    """Deterministic fixed-latency cluster for exact-ordering tests."""
+    return Cluster(sim, latency=FixedLatency(0.01))
+
+
+def cyclon_stack(view_size: int = 10, shuffle_size: int = 5, period: float = 1.0):
+    """StackFactory with just a Cyclon PSS (most protocol tests add to it)."""
+
+    def factory(node):
+        return [CyclonProtocol(view_size=view_size, shuffle_size=shuffle_size, period=period)]
+
+    return factory
+
+
+def build_connected(sim: Simulation, cluster: Cluster, count: int, factory, warmup: float = 10.0,
+                    seed_views: int = 4):
+    """Boot ``count`` nodes, seed membership, let the overlay mix."""
+    nodes = cluster.add_nodes(count, factory)
+    cluster.seed_views("membership", seed_views)
+    sim.run_for(warmup)
+    return nodes

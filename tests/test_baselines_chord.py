@@ -1,0 +1,182 @@
+"""Tests for the Chord structured-overlay baseline."""
+
+import pytest
+
+from repro.baselines.chord import (
+    ChordProtocol,
+    chord_id,
+    in_half_open,
+    in_open_interval,
+)
+from repro.common.hashing import KEYSPACE_SIZE, key_hash
+from repro.common.ids import NodeId
+from repro.sim import Cluster, PoissonChurn, Simulation, UniformLatency
+
+
+class TestIntervalMath:
+    def test_plain_interval(self):
+        assert in_open_interval(5, 1, 10)
+        assert not in_open_interval(1, 1, 10)
+        assert not in_open_interval(10, 1, 10)
+
+    def test_wrapping_interval(self):
+        high = KEYSPACE_SIZE - 10
+        assert in_open_interval(KEYSPACE_SIZE - 5, high, 3)
+        assert in_open_interval(1, high, 3)
+        assert not in_open_interval(5, high, 3)
+
+    def test_degenerate_interval_is_whole_ring(self):
+        assert in_open_interval(5, 7, 7)
+        assert not in_open_interval(7, 7, 7)
+
+    def test_half_open_includes_endpoint(self):
+        assert in_half_open(10, 1, 10)
+        assert not in_half_open(1, 1, 10)
+
+    def test_chord_id_stable(self):
+        assert chord_id(NodeId(3)) == chord_id(NodeId(3))
+
+
+def _build_ring(n, seed=101, stabilize=1.0, warmup=None):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+    first_id = {}
+
+    def bootstrap():
+        node_id = first_id.get("id")
+        return node_id
+
+    def factory(node):
+        return [ChordProtocol(bootstrap, successors=4, stabilize_period=stabilize)]
+
+    nodes = []
+    for i in range(n):
+        node = cluster.add_node(factory)
+        if i == 0:
+            first_id["id"] = node.node_id
+        nodes.append(node)
+        sim.run_for(0.5)  # staggered joins, as in a real deployment
+    sim.run_for(warmup if warmup is not None else max(20.0, n * 0.8))
+    return sim, cluster, nodes
+
+
+def _ring_correct(nodes) -> float:
+    """Fraction of live nodes whose successor pointer is exactly the
+    next live node clockwise."""
+    live = [n for n in nodes if n.is_up]
+    positions = sorted((chord_id(n.node_id), n.node_id.value) for n in live)
+    want = {}
+    for i, (pos, value) in enumerate(positions):
+        want[value] = positions[(i + 1) % len(positions)][1]
+    good = 0
+    for node in live:
+        proto = node.protocol("chord")
+        succ = proto.successor()
+        if succ is not None and succ[0].value == want[node.node_id.value]:
+            good += 1
+    return good / len(live)
+
+
+class TestRingFormation:
+    def test_ring_converges(self):
+        sim, cluster, nodes = _build_ring(24)
+        assert _ring_correct(nodes) >= 0.95
+
+    def test_predecessors_set(self):
+        sim, cluster, nodes = _build_ring(16)
+        with_pred = sum(1 for n in nodes if n.protocol("chord").predecessor is not None)
+        assert with_pred >= 15
+
+    def test_fingers_populated(self):
+        sim, cluster, nodes = _build_ring(20)
+        finger_counts = [len(n.protocol("chord").fingers) for n in nodes]
+        assert all(c > 2 for c in finger_counts)
+
+    def test_successor_list_depth(self):
+        sim, cluster, nodes = _build_ring(16)
+        assert all(len(n.protocol("chord").successors) >= 3 for n in nodes)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ChordProtocol(lambda: None, successors=0)
+
+
+class TestLookups:
+    def test_lookup_resolves_to_responsible_node(self):
+        sim, cluster, nodes = _build_ring(20)
+        live_positions = sorted((chord_id(n.node_id), n.node_id.value) for n in nodes)
+
+        def responsible(key: str) -> int:
+            target = key_hash(key)
+            for pos, value in live_positions:
+                if pos >= target:
+                    return value
+            return live_positions[0][1]
+
+        outcomes = {}
+        for i in range(15):
+            key = f"lookup-key-{i}"
+            nodes[i % len(nodes)].protocol("chord").lookup(
+                key, lambda who, k=key: outcomes.__setitem__(k, who))
+        sim.run_for(10.0)
+        correct = sum(
+            1 for key, who in outcomes.items()
+            if who is not None and who.value == responsible(key)
+        )
+        assert correct >= 13
+
+    def test_lookup_hops_logarithmic(self):
+        sim, cluster, nodes = _build_ring(32)
+        done = []
+        for i in range(20):
+            nodes[i % 32].protocol("chord").lookup(f"h{i}", lambda who: done.append(who))
+        sim.run_for(10.0)
+        hops = cluster.metrics.histogram("chord.lookup_hops")
+        assert hops.count >= 18
+        assert hops.mean < 12  # far fewer than N/2 for a 32-node ring
+
+    def test_lookup_timeout_reports_none(self):
+        sim, cluster, nodes = _build_ring(6, warmup=10.0)
+        outcomes = []
+        # crash everyone else: routing dead-ends and the timeout fires
+        for node in nodes[1:]:
+            node.crash()
+        nodes[0].protocol("chord").lookup("key", outcomes.append)
+        sim.run_for(15.0)
+        assert outcomes and (outcomes[0] is None or outcomes[0] == nodes[0].node_id)
+
+
+class TestChurnBehaviour:
+    def test_ring_heals_after_failures(self):
+        sim, cluster, nodes = _build_ring(24)
+        for node in nodes[5:10]:
+            node.crash(permanent=True)
+        sim.run_for(40.0)
+        assert _ring_correct(nodes) >= 0.9
+
+    def test_maintenance_traffic_grows_with_churn(self):
+        def run(churn_rate):
+            sim, cluster, nodes = _build_ring(20, seed=103)
+            if churn_rate:
+                churn = PoissonChurn(sim, cluster, event_rate=churn_rate, mean_downtime=6.0)
+                churn.start()
+            sim.run_for(60.0)
+            suspicions = cluster.metrics.counter_value("chord.suspicions")
+            rejoins = cluster.metrics.counter_value("chord.joins")
+            return suspicions, rejoins
+
+        calm_susp, calm_joins = run(0.0)
+        churny_susp, churny_joins = run(0.8)
+        # churn forces detection + structural repair work that a calm
+        # ring never pays — the "overhead proportional to churn" claim
+        assert churny_susp > calm_susp
+        assert churny_susp + churny_joins > (calm_susp + calm_joins) * 2
+
+    def test_rejoin_after_transient_outage(self):
+        sim, cluster, nodes = _build_ring(16)
+        victim = nodes[7]
+        victim.crash()
+        sim.run_for(20.0)
+        victim.boot()
+        sim.run_for(30.0)
+        assert _ring_correct(nodes) >= 0.9

@@ -1,0 +1,121 @@
+"""Tests for the structured DHT baseline."""
+
+import pytest
+
+from repro.baselines import DhtConfig, DhtStore, UnavailableInDht
+from repro.common.errors import TimeoutError_
+from repro.sim import NodeState
+
+
+@pytest.fixture(scope="module")
+def dht():
+    store = DhtStore(DhtConfig(seed=31, n_nodes=30, replication=3)).start(warmup=5.0)
+    for i in range(20):
+        store.put(f"k{i}", {"v": i})
+    store.run_for(10.0)
+    return store
+
+
+class TestBasicOperations:
+    def test_put_get(self, dht):
+        dht.put("probe", {"x": 1})
+        assert dht.get("probe") == {"x": 1}
+
+    def test_put_reports_replicas(self, dht):
+        outcome = dht.put("probe2", {"x": 1})
+        assert outcome["replicas"] >= 2
+
+    def test_get_missing_raises(self, dht):
+        with pytest.raises((UnavailableInDht, TimeoutError_)):
+            dht.get("never-written")
+
+    def test_delete(self, dht):
+        dht.put("probe3", {"x": 1})
+        dht.delete("probe3")
+        assert dht.get("probe3") is None
+
+    def test_update(self, dht):
+        dht.put("probe4", {"x": 1})
+        dht.put("probe4", {"x": 2})
+        assert dht.get("probe4") == {"x": 2}
+
+    def test_replicas_land_on_successors(self, dht):
+        targets = dht._targets("k0")
+        holders = [
+            node for node in dht.nodes
+            if node.is_up and "k0" in node.durable["memtable"]
+        ]
+        assert len(holders) >= 2
+        holder_ids = {node.node_id for node in holders}
+        assert holder_ids & set(targets)
+
+
+class TestFailureBehaviour:
+    def test_reads_survive_single_crash(self):
+        store = DhtStore(DhtConfig(seed=32, n_nodes=20, replication=3)).start(warmup=5.0)
+        store.put("key", {"v": 1})
+        store.run_for(5.0)
+        primary = store._targets("key")[0]
+        for node in store.nodes:
+            if node.node_id == primary:
+                node.crash()
+        store.run_for(1.0)
+        assert store.get("key") == {"v": 1}  # falls back to replica
+
+    def test_failure_detection_triggers_repair(self):
+        store = DhtStore(DhtConfig(seed=33, n_nodes=20, replication=3,
+                                   ping_period=1.0, ping_timeout=0.5)).start(warmup=5.0)
+        for i in range(10):
+            store.put(f"r{i}", {"v": i})
+        store.run_for(5.0)
+        baseline = store.metrics.counter_value("dht.repairs")
+        store.nodes[0].crash()
+        store.nodes[1].crash()
+        store.run_for(15.0)
+        assert store.metrics.counter_value("dht.suspicions") > 0
+        assert store.metrics.counter_value("dht.repairs") > baseline
+
+    def test_repair_traffic_scales_with_churn(self):
+        def run(crashes):
+            store = DhtStore(DhtConfig(seed=34, n_nodes=30, replication=3,
+                                       ping_period=1.0, ping_timeout=0.5)).start(warmup=5.0)
+            for i in range(30):
+                store.put(f"w{i}", {"v": i})
+            store.run_for(5.0)
+            for node in store.nodes[:crashes]:
+                node.crash()
+            store.run_for(20.0)
+            return store.metrics.counter_value("dht.repair_items")
+
+        assert run(6) > run(0)
+
+    def test_total_replica_loss_is_unavailable(self):
+        store = DhtStore(DhtConfig(seed=35, n_nodes=15, replication=2)).start(warmup=5.0)
+        store.put("doomed", {"v": 1})
+        store.run_for(3.0)
+        holders = [n for n in store.nodes if "doomed" in n.durable["memtable"]]
+        for node in holders:
+            node.crash(permanent=True)
+        store.run_for(2.0)
+        with pytest.raises((UnavailableInDht, TimeoutError_)):
+            store.get("doomed")
+
+    def test_permanent_loss_of_all_holders_destroys_data(self):
+        store = DhtStore(DhtConfig(seed=36, n_nodes=12, replication=2)).start(warmup=5.0)
+        store.put("gone", {"v": 1})
+        store.run_for(3.0)
+        for node in store.nodes:
+            if "gone" in node.durable["memtable"]:
+                node.crash(permanent=True)
+        assert all(
+            "gone" not in n.durable.get("memtable", {})
+            for n in store.nodes if n.state is not NodeState.DEAD
+        )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DhtConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            DhtConfig(replication=0)

@@ -1,0 +1,37 @@
+"""Tests for the benchmark table helpers (import them the way the
+benches do: via the benchmarks/ directory on sys.path)."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from _helpers import _fmt, print_table  # noqa: E402
+
+
+class TestFormatting:
+    def test_float_formatting(self):
+        assert _fmt(0.123456) == "0.123"
+        assert _fmt(12345.6) == "12,346"
+        assert _fmt(float("nan")) == "n/a"
+
+    def test_non_float_passthrough(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+
+class TestPrintTable:
+    def test_renders_aligned_columns(self, capsys):
+        text = print_table("demo", ["a", "bee"], [[1, 2.5], [333, 4]])
+        out = capsys.readouterr().out
+        assert "== demo ==" in out
+        lines = [l for l in text.splitlines() if l]
+        assert len(lines) == 5  # title, header, rule, 2 rows
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_empty_rows(self, capsys):
+        text = print_table("empty", ["x"], [])
+        assert "empty" in text

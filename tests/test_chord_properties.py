@@ -1,0 +1,70 @@
+"""Property-based tests for Chord's ring-interval arithmetic.
+
+The interval predicates are the correctness core of Chord routing —
+a single wrap-around bug produces silent misrouting, so they get
+exhaustive property coverage.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chord import in_half_open, in_open_interval
+from repro.common.hashing import KEYSPACE_SIZE
+
+positions = st.integers(min_value=0, max_value=KEYSPACE_SIZE - 1)
+
+
+class TestIntervalProperties:
+    @given(positions, positions, positions)
+    @settings(max_examples=200)
+    def test_open_interval_endpoints_excluded(self, value, low, high):
+        if value == low or (value == high and low != high):
+            assert not in_open_interval(value, low, high) or value == high and low == high
+
+    @given(positions, positions)
+    @settings(max_examples=200)
+    def test_half_open_includes_high_only(self, low, high):
+        if low != high:
+            assert in_half_open(high, low, high)
+            assert not in_half_open(low, low, high) or low == high
+
+    @given(positions, positions, positions)
+    @settings(max_examples=200)
+    def test_rotation_invariance(self, value, low, shift):
+        """Interval membership is invariant under ring rotation."""
+        high = (low + 12345) % KEYSPACE_SIZE
+        rotated = lambda x: (x + shift) % KEYSPACE_SIZE
+        assert in_open_interval(value, low, high) == in_open_interval(
+            rotated(value), rotated(low), rotated(high)
+        )
+
+    @given(positions, positions, positions)
+    @settings(max_examples=200)
+    def test_partition_property(self, value, low, high):
+        """Every non-endpoint value is in exactly one of (low, high] and
+        (high, low] — the two arcs partition the ring."""
+        if value in (low, high) or low == high:
+            return
+        in_first = in_half_open(value, low, high)
+        in_second = in_half_open(value, high, low)
+        assert in_first != in_second
+
+    @given(positions, positions)
+    @settings(max_examples=100)
+    def test_successor_of_target_is_found_by_scan(self, target, start):
+        """A brute-force check that half-open membership identifies the
+        clockwise successor among a fixed node set."""
+        ring_nodes = sorted(((start + i * (KEYSPACE_SIZE // 7)) % KEYSPACE_SIZE)
+                            for i in range(7))
+        owner = None
+        for node in ring_nodes:
+            if node >= target:
+                owner = node
+                break
+        if owner is None:
+            owner = ring_nodes[0]
+        # Chord's rule: owner is the node whose (predecessor, owner]
+        # contains the target.
+        index = ring_nodes.index(owner)
+        predecessor = ring_nodes[index - 1]
+        assert in_half_open(target, predecessor, owner)

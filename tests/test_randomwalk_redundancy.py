@@ -1,0 +1,266 @@
+"""Tests for random walks, census estimation and redundancy repair."""
+
+import pytest
+
+from repro.common.ids import NodeId
+from repro.epidemic import EagerGossip
+from repro.estimation import ExtremaSizeEstimator
+from repro.membership import CyclonProtocol
+from repro.randomwalk import (
+    PopulationEstimate,
+    RandomWalkProtocol,
+    collect_peer_ids,
+    estimate_item_population,
+    estimate_range_population,
+    recommended_walk_ttl,
+    walks_needed,
+)
+from repro.redundancy import RangeRepair, RedundancyManager, RepairPolicy
+from repro.sieve import BucketSieve
+from repro.sim import Cluster, Simulation, UniformLatency
+from repro.store import Memtable, Version, make_tuple
+
+from tests.conftest import build_connected
+
+
+class TestSamplingMath:
+    def test_recommended_ttl_grows_logarithmically(self):
+        assert recommended_walk_ttl(16) < recommended_walk_ttl(1 << 16)
+        assert recommended_walk_ttl(2) >= 1
+
+    def test_population_estimate(self):
+        est = PopulationEstimate("rk", walks=100, hits=25, n_estimate=400)
+        assert est.proportion == 0.25
+        assert est.population == 100.0
+        assert est.stderr > 0
+
+    def test_zero_walks(self):
+        est = PopulationEstimate("rk", walks=0, hits=0, n_estimate=100)
+        assert est.population == 0.0
+        assert est.stderr == float("inf")
+
+    def test_estimate_range_population(self):
+        reports = [{"range_key": "a"}] * 3 + [{"range_key": "b"}] * 7
+        est = estimate_range_population(reports, "a", n_estimate=100)
+        assert est.hits == 3
+        assert est.population == pytest.approx(30.0)
+
+    def test_estimate_item_population(self):
+        reports = [{"holds": True}, {"holds": False}, {"holds": True}]
+        est = estimate_item_population(reports, n_estimate=90)
+        assert est.population == pytest.approx(60.0)
+
+    def test_walks_needed_cheaper_for_bigger_ranges(self):
+        per_range = walks_needed(10_000, range_population=50)
+        per_item = walks_needed(10_000, range_population=4)
+        assert per_range < per_item
+
+    def test_walks_needed_validation(self):
+        with pytest.raises(ValueError):
+            walks_needed(100, 0)
+
+    def test_collect_peer_ids(self):
+        reports = [
+            {"range_key": "a", "node": 1},
+            {"range_key": "a", "node": 2},
+            {"range_key": "b", "node": 3},
+            {"range_key": "a", "node": 1},
+        ]
+        assert collect_peer_ids(reports, "a") == [1, 2]
+        assert collect_peer_ids(reports, "a", exclude=1) == [2]
+
+
+def _walk_cluster(n=60, seed=71, reporter=None):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+
+    def factory(node):
+        walker = RandomWalkProtocol(reporter=reporter, timeout=8.0)
+        return [CyclonProtocol(view_size=10, shuffle_size=5, period=1.0), walker]
+
+    nodes = build_connected(sim, cluster, n, factory, warmup=10.0)
+    return sim, cluster, nodes
+
+
+class TestRandomWalks:
+    def test_walks_complete_and_report(self):
+        sim, cluster, nodes = _walk_cluster()
+        results = []
+        nodes[0].protocol("random-walk").start_walks(30, 8, results.append)
+        sim.run_for(10.0)
+        assert len(results) == 1
+        reports = results[0]
+        assert len(reports) == 30
+        assert all("node" in r for r in reports)
+
+    def test_endpoints_are_spread(self):
+        sim, cluster, nodes = _walk_cluster(n=40)
+        results = []
+        nodes[0].protocol("random-walk").start_walks(80, 10, results.append)
+        sim.run_for(15.0)
+        endpoints = {r["node"] for r in results[0]}
+        assert len(endpoints) > 15  # near-uniform sampling touches many nodes
+
+    def test_zero_ttl_reports_self(self):
+        sim, cluster, nodes = _walk_cluster(n=10)
+        outcome = []
+        nodes[0].protocol("random-walk").start_walk(0, outcome.append)
+        sim.run_for(5.0)
+        assert outcome[0]["node"] == nodes[0].node_id.value
+
+    def test_custom_reporter_fields(self):
+        sim, cluster, nodes = _walk_cluster(reporter=lambda probe: {"extra": 42})
+        outcome = []
+        nodes[0].protocol("random-walk").start_walk(5, outcome.append)
+        sim.run_for(5.0)
+        assert outcome[0]["extra"] == 42
+
+    def test_probe_passed_to_reporter(self):
+        sim, cluster, nodes = _walk_cluster(
+            reporter=lambda probe: {"echo": probe.get("key")}
+        )
+        outcome = []
+        nodes[0].protocol("random-walk").start_walk(5, outcome.append, probe={"key": "K"})
+        sim.run_for(5.0)
+        assert outcome[0]["echo"] == "K"
+
+    def test_timeout_reports_none(self):
+        sim = Simulation(seed=72)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+
+        def factory(node):
+            return [CyclonProtocol(view_size=4, shuffle_size=2, period=1.0),
+                    RandomWalkProtocol(timeout=3.0)]
+
+        nodes = build_connected(sim, cluster, 10, factory, warmup=5.0)
+        # Crash everyone else so the walk dies mid-flight.
+        walker = nodes[0].protocol("random-walk")
+        outcome = []
+        walker.start_walk(6, outcome.append)
+        for node in nodes[1:]:
+            node.crash()
+        sim.run_for(10.0)
+        assert outcome == [None]
+
+    def test_negative_ttl_rejected(self):
+        sim, cluster, nodes = _walk_cluster(n=5)
+        with pytest.raises(ValueError):
+            nodes[0].protocol("random-walk").start_walk(-1, lambda r: None)
+
+
+def _storage_stack_for_redundancy(policy, replication=6, n_estimate=None):
+    """Minimal storage-ish stack: PSS + size estimator + gossip + walker +
+    redundancy manager + range repair over a shared-bucket sieve."""
+
+    def factory(node):
+        memtable = node.durable.setdefault("memtable", Memtable())
+        size_est = ExtremaSizeEstimator(k=64, period=0.5)
+        size_fn = (lambda: n_estimate) if n_estimate else size_est.estimate
+        sieve = BucketSieve(node.node_id, replication, size_fn)
+        gossip = EagerGossip(fanout=8)
+        walker = RandomWalkProtocol(timeout=8.0)
+        manager = RedundancyManager(memtable, sieve, size_fn, policy)
+        repair = RangeRepair(memtable, sieve, manager.same_range_peers, period=2.0)
+
+        def apply_write(item_id, payload, hops):
+            item = payload
+            if sieve.admits(item.key, item.record) or item.key in memtable:
+                memtable.put(item)
+
+        gossip.subscribe(apply_write)
+        return [CyclonProtocol(view_size=10, shuffle_size=5, period=1.0),
+                size_est, gossip, walker, manager, repair]
+
+    return factory
+
+
+class TestRedundancyManager:
+    def test_census_estimates_range_population(self):
+        sim = Simulation(seed=81)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        n, r = 64, 8
+        policy = RepairPolicy(target_replication=r, check_period=5.0, walks_per_check=48,
+                              grace_window=1000.0)
+        nodes = build_connected(
+            sim, cluster, n, _storage_stack_for_redundancy(policy, replication=r, n_estimate=n),
+            warmup=40.0,
+        )
+        populations = [n_.protocol("redundancy").last_population for n_ in nodes]
+        measured = [p for p in populations if p is not None]
+        assert measured, "census never completed"
+        # true population per bucket is n / buckets = 64/8 = 8
+        mean = sum(measured) / len(measured)
+        assert 3 < mean < 16
+
+    def test_census_discovers_same_range_peers(self):
+        sim = Simulation(seed=82)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        n, r = 48, 12
+        policy = RepairPolicy(target_replication=r, check_period=5.0, walks_per_check=48,
+                              grace_window=1000.0)
+        nodes = build_connected(
+            sim, cluster, n, _storage_stack_for_redundancy(policy, replication=r, n_estimate=n),
+            warmup=40.0,
+        )
+        with_peers = [n_ for n_ in nodes if n_.protocol("redundancy").same_range_peers()]
+        assert len(with_peers) > len(nodes) // 2
+        # discovered peers really share the range
+        for node in with_peers[:5]:
+            manager = node.protocol("redundancy")
+            my_range = manager.sieve.range_key()
+            for peer_id in manager.same_range_peers():
+                peer = cluster.node(peer_id)
+                assert peer.protocol("redundancy").sieve.range_key() == my_range
+
+    def test_range_repair_converges_same_range_stores(self):
+        sim = Simulation(seed=83)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        n, r = 32, 16  # two buckets -> many same-range peers
+        policy = RepairPolicy(target_replication=4, check_period=3.0, walks_per_check=32,
+                              grace_window=1000.0)
+        nodes = build_connected(
+            sim, cluster, n, _storage_stack_for_redundancy(policy, replication=r, n_estimate=n),
+            warmup=20.0,
+        )
+        # Plant an item directly at ONE node of its bucket; repair must
+        # copy it to the other same-bucket nodes without any gossip write.
+        target = nodes[0]
+        sieve = BucketSieve(target.node_id, r, lambda: n)
+        item = None
+        for i in range(500):
+            candidate = make_tuple(f"planted:{i}", {}, Version(1, 0))
+            if sieve.admits(candidate.key, candidate.record):
+                item = candidate
+                break
+        assert item is not None
+        target.durable["memtable"].put(item)
+        sim.run_for(90.0)
+        same_bucket = [
+            node for node in nodes
+            if BucketSieve(node.node_id, r, lambda: n).range_key() == sieve.range_key()
+        ]
+        holders = [node for node in same_bucket if item.key in node.durable["memtable"]]
+        assert len(holders) > len(same_bucket) // 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RepairPolicy(target_replication=0)
+        with pytest.raises(ValueError):
+            RepairPolicy(check_period=0)
+        with pytest.raises(ValueError):
+            RepairPolicy(grace_window=-1)
+
+    def test_repair_triggered_when_population_low(self):
+        sim = Simulation(seed=84)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        n = 24
+        # Demand far more replicas than exist -> census always deficient.
+        policy = RepairPolicy(target_replication=50, check_period=3.0,
+                              walks_per_check=24, grace_window=0.0)
+        nodes = build_connected(
+            sim, cluster, n, _storage_stack_for_redundancy(policy, replication=4, n_estimate=n),
+            warmup=10.0,
+        )
+        nodes[0].durable["memtable"].put(make_tuple("any", {}, Version(1, 0)))
+        sim.run_for(40.0)
+        assert cluster.metrics.counter_value("redundancy.repairs") > 0

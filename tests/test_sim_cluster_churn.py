@@ -1,0 +1,168 @@
+"""Tests for cluster management and churn models."""
+
+import pytest
+
+from repro.sim import (
+    CatastrophicEvent,
+    ChurnAction,
+    Cluster,
+    FixedLatency,
+    NodeState,
+    PoissonChurn,
+    Simulation,
+    TraceChurn,
+)
+from repro.sim.churn import downtime_availability
+
+from tests.test_sim_node_network import echo_stack
+
+
+class TestCluster:
+    def test_dense_ids(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(5, echo_stack)
+        assert [n.node_id.value for n in nodes] == [0, 1, 2, 3, 4]
+
+    def test_labels(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(2, echo_stack, label_prefix="s-")
+        assert str(nodes[0]) != ""
+        assert nodes[0].node_id.label == "s-0"
+
+    def test_up_nodes_tracks_state(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(4, echo_stack)
+        nodes[0].crash()
+        nodes[1].crash(permanent=True)
+        assert len(cluster.up_nodes()) == 2
+        assert len(cluster.live_nodes()) == 3  # DOWN counts as live
+
+    def test_bootstrap_sample_excludes(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(5, echo_stack)
+        sample = cluster.bootstrap_sample(10, exclude=nodes[0].node_id)
+        assert nodes[0].node_id not in sample
+        assert len(sample) == 4
+
+    def test_crash_fraction(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(10, echo_stack)
+        victims = cluster.crash_fraction(0.3)
+        assert len(victims) == 3
+        assert len(cluster.up_nodes()) == 7
+
+    def test_crash_fraction_validates(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(2, echo_stack)
+        with pytest.raises(ValueError):
+            cluster.crash_fraction(1.5)
+
+    def test_view_of(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(6, echo_stack)
+        view = Cluster.view_of(sim, cluster.network, nodes[:3])
+        assert len(view) == 3
+        assert view.random_up_node() in nodes[:3]
+
+
+class TestPoissonChurn:
+    def test_crashes_happen_at_expected_rate(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(50, echo_stack)
+        churn = PoissonChurn(sim, cluster, event_rate=2.0, mean_downtime=5.0)
+        churn.start()
+        sim.run_until(100.0)
+        # 2 events/s * 100 s = 200 expected crashes
+        assert 140 < churn.crashes < 260
+
+    def test_transient_nodes_recover(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(20, echo_stack)
+        churn = PoissonChurn(sim, cluster, event_rate=1.0, mean_downtime=2.0)
+        churn.start()
+        sim.run_until(50.0)
+        churn.stop()
+        sim.run_until(100.0)  # let everyone come back
+        assert len(cluster.up_nodes()) == 20
+        assert churn.recoveries > 0
+
+    def test_permanent_fraction_kills(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(30, echo_stack)
+        churn = PoissonChurn(sim, cluster, event_rate=2.0, mean_downtime=1.0,
+                             permanent_fraction=1.0)
+        churn.start()
+        sim.run_until(10.0)
+        assert churn.permanent_deaths == churn.crashes > 0
+        assert all(n.state is NodeState.DEAD or n.is_up for n in cluster.nodes())
+
+    def test_replacement_keeps_population(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(20, echo_stack)
+        churn = PoissonChurn(sim, cluster, event_rate=2.0, mean_downtime=1.0,
+                             permanent_fraction=1.0, replacement_factory=echo_stack)
+        churn.start()
+        sim.run_until(20.0)
+        live = len(cluster.up_nodes())
+        assert churn.joins == churn.permanent_deaths > 0
+        assert live == 20
+
+    def test_parameter_validation(self, sim, cluster):
+        with pytest.raises(ValueError):
+            PoissonChurn(sim, cluster, event_rate=0)
+        with pytest.raises(ValueError):
+            PoissonChurn(sim, cluster, event_rate=1, mean_downtime=0)
+        with pytest.raises(ValueError):
+            PoissonChurn(sim, cluster, event_rate=1, permanent_fraction=2)
+
+
+class TestCatastrophicEvent:
+    def test_kills_fraction_then_recovers(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(10, echo_stack)
+        CatastrophicEvent(sim, cluster, at_time=5.0, fraction=0.5, recover_after=10.0)
+        sim.run_until(6.0)
+        assert len(cluster.up_nodes()) == 5
+        sim.run_until(20.0)
+        assert len(cluster.up_nodes()) == 10
+
+    def test_permanent_cannot_recover(self, sim, cluster):
+        with pytest.raises(ValueError):
+            CatastrophicEvent(sim, cluster, at_time=1.0, fraction=0.5,
+                              permanent=True, recover_after=5.0)
+
+
+class TestTraceChurn:
+    def test_replays_schedule(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(3, echo_stack)
+        TraceChurn(sim, cluster, [
+            ChurnAction(1.0, 0, "crash"),
+            ChurnAction(2.0, 0, "recover"),
+            ChurnAction(3.0, 1, "kill"),
+        ])
+        sim.run_until(1.5)
+        assert not nodes[0].is_up
+        sim.run_until(2.5)
+        assert nodes[0].is_up
+        sim.run_until(3.5)
+        assert nodes[1].state is NodeState.DEAD
+
+    def test_invalid_kind_rejected(self, sim, cluster):
+        with pytest.raises(ValueError):
+            TraceChurn(sim, cluster, [ChurnAction(1.0, 0, "explode")])
+
+
+class TestAvailabilityHelper:
+    def test_downtime_availability(self):
+        samples = [(0.0, 10), (1.0, 8), (2.0, 6)]
+        assert downtime_availability(samples, 10) == pytest.approx(0.8)
+
+    def test_empty(self):
+        assert downtime_availability([], 10) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.sim import Metrics
+from repro.sim.metrics import Counter, Gauge, Histogram, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram()
+        for value in (1, 2, 3, 4, 5):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.mean == 3
+        assert histogram.minimum == 1
+        assert histogram.maximum == 5
+        assert histogram.total == 15
+        assert histogram.stddev == pytest.approx(1.5811, rel=1e-3)
+
+    def test_percentiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(99) == 99
+        assert histogram.percentile(0) == 1
+        assert histogram.percentile(100) == 100
+
+    def test_percentile_validation(self):
+        histogram = Histogram()
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_empty_histogram_nan(self):
+        histogram = Histogram()
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.percentile(50))
+        assert histogram.stddev == 0.0
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        series = TimeSeries()
+        series.record(1.0, 10)
+        series.record(2.0, 20)
+        assert len(series) == 2
+        assert series.last().value == 20
+        assert [s.time for s in series.samples()] == [1.0, 2.0]
+
+    def test_empty_last(self):
+        assert TimeSeries().last() is None
+
+
+class TestRegistry:
+    def test_namespacing(self):
+        metrics = Metrics()
+        metrics.counter("a.b").inc()
+        metrics.gauge("c").set(7)
+        metrics.histogram("h").observe(1)
+        metrics.timeseries("t").record(0, 1)
+        assert metrics.counter_value("a.b") == 1
+        assert metrics.counter_value("missing") == 0.0
+        snapshot = metrics.snapshot()
+        assert snapshot["a.b"] == 1 and snapshot["c"] == 7
+
+    def test_counter_value_does_not_create(self):
+        metrics = Metrics()
+        metrics.counter_value("ghost")
+        assert "ghost" not in metrics.counters
+
+    def test_report_filtering(self):
+        metrics = Metrics()
+        metrics.counter("net.sent").inc(5)
+        metrics.counter("other").inc()
+        report = metrics.report(prefixes=["net."])
+        assert "net.sent" in report
+        assert "other" not in report
+
+    def test_report_includes_histograms(self):
+        metrics = Metrics()
+        metrics.histogram("lat").observe(0.5)
+        assert "lat" in metrics.report()

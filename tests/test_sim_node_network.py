@@ -1,0 +1,255 @@
+"""Tests for nodes (lifecycle, timers, durability) and the network."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.errors import NodeDownError
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.sim import (
+    Cluster,
+    FixedLatency,
+    Network,
+    NodeState,
+    Protocol,
+    Simulation,
+    UniformLatency,
+)
+from repro.sim.network import LogNormalLatency
+
+
+@message_type
+@dataclass(frozen=True)
+class _Ping(Message):
+    tag: str = ""
+
+
+class _Echo(Protocol):
+    """Test protocol: records receptions; echoes pings back once."""
+
+    name = "echo"
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+        self.started = 0
+        self.stopped = 0
+
+    def on_start(self):
+        self.started += 1
+
+    def on_stop(self):
+        self.stopped += 1
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message))
+        if isinstance(message, _Ping) and message.tag == "ping":
+            self.send(sender, _Ping("pong"))
+
+
+def echo_stack(node):
+    return [_Echo()]
+
+
+class TestNodeLifecycle:
+    def test_boot_starts_protocols(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        assert node.is_up
+        assert node.protocol("echo").started == 1
+
+    def test_double_boot_rejected(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        with pytest.raises(NodeDownError):
+            node.boot()
+
+    def test_crash_loses_soft_state_keeps_durable(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        node.durable["disk"] = {"k": 1}
+        echo = node.protocol("echo")
+        echo.received.append(("fake", None))
+        node.crash()
+        assert node.state is NodeState.DOWN
+        node.boot()
+        assert node.protocol("echo") is not echo  # fresh instance
+        assert node.protocol("echo").received == []
+        assert node.durable["disk"] == {"k": 1}
+
+    def test_permanent_failure_destroys_durable(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        node.durable["disk"] = {"k": 1}
+        node.crash(permanent=True)
+        assert node.state is NodeState.DEAD
+        assert node.durable == {}
+        with pytest.raises(NodeDownError):
+            node.boot()
+
+    def test_crash_skips_on_stop_shutdown_calls_it(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        echo = node.protocol("echo")
+        node.crash()
+        assert echo.stopped == 0
+        node.boot()
+        echo2 = node.protocol("echo")
+        node.shutdown()
+        assert echo2.stopped == 1
+
+    def test_boot_count_tracks_reboots(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        node.crash()
+        node.boot()
+        assert node.boot_count == 2
+
+    def test_duplicate_protocol_names_rejected(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        with pytest.raises(ValueError):
+            cluster.add_node(lambda n: [_Echo(), _Echo()])
+
+
+class TestTimers:
+    def test_timer_fires_while_up(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        fired = []
+        node.set_timer(1.0, lambda: fired.append(sim.now))
+        sim.run_until(2.0)
+        assert fired == [1.0]
+
+    def test_timer_dies_with_crash(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        fired = []
+        node.set_timer(1.0, lambda: fired.append("x"))
+        node.crash()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_timer_from_previous_epoch_ignored_after_reboot(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        node = cluster.add_node(echo_stack)
+        fired = []
+        node.set_timer(1.0, lambda: fired.append("old"))
+        node.crash()
+        node.boot()
+        node.set_timer(1.5, lambda: fired.append("new"))
+        sim.run_until(2.0)
+        assert fired == ["new"]
+
+
+class TestMessaging:
+    def test_round_trip(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        a.protocol("echo").send(b.node_id, _Ping("ping"))
+        sim.run_until(1.0)
+        assert any(m.tag == "ping" for _, m in b.protocol("echo").received)
+        assert any(m.tag == "pong" for _, m in a.protocol("echo").received)
+
+    def test_down_node_receives_nothing(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        b.crash()
+        a.protocol("echo").send(b.node_id, _Ping("ping"))
+        sim.run_until(1.0)
+        b.boot()
+        assert b.protocol("echo").received == []
+        assert cluster.metrics.counter_value("net.dropped.node_down") == 1
+
+    def test_down_node_cannot_send(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        echo = a.protocol("echo")
+        a.crash()
+        echo.send(b.node_id, _Ping("ping"))  # stale reference held by a timer, say
+        sim.run_until(1.0)
+        assert b.protocol("echo").received == []
+
+    def test_unknown_destination_counted(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        a.protocol("echo").send(NodeId(999), _Ping("ping"))
+        sim.run_until(1.0)
+        assert cluster.metrics.counter_value("net.dropped.unknown_dest") == 1
+
+    def test_unknown_protocol_counted(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        a.send(b.node_id, "no-such-proto", _Ping())
+        sim.run_until(1.0)
+        assert cluster.metrics.counter_value("node.dropped.no_protocol") == 1
+
+    def test_loss_rate_drops_messages(self):
+        sim = Simulation(seed=5)
+        cluster = Cluster(sim, latency=FixedLatency(0.01), loss_rate=0.5)
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        for _ in range(200):
+            a.protocol("echo").send(b.node_id, _Ping(""))
+        sim.run_until(5.0)
+        received = len(b.protocol("echo").received)
+        assert 50 < received < 150  # ~100 expected
+
+    def test_partition_blocks_traffic(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        cluster.network.set_partition(lambda src, dst: False)
+        a.protocol("echo").send(b.node_id, _Ping("ping"))
+        sim.run_until(1.0)
+        assert b.protocol("echo").received == []
+        cluster.network.set_partition(None)
+        a.protocol("echo").send(b.node_id, _Ping("ping"))
+        sim.run_until(2.0)
+        assert len(b.protocol("echo").received) == 1
+
+    def test_bytes_accounted(self, sim):
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        a = cluster.add_node(echo_stack)
+        b = cluster.add_node(echo_stack)
+        a.protocol("echo").send(b.node_id, _Ping("x" * 100))
+        sim.run_until(1.0)
+        assert cluster.metrics.counter_value("net.bytes.total") >= 100
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(0.25)
+        assert model.sample(None, None, None) == 0.25
+
+    def test_uniform_bounds(self):
+        sim = Simulation()
+        model = UniformLatency(0.01, 0.05)
+        rng = sim.rng("t")
+        for _ in range(100):
+            assert 0.01 <= model.sample(rng, None, None) <= 0.05
+
+    def test_lognormal_capped(self):
+        sim = Simulation()
+        model = LogNormalLatency(median=0.05, sigma=1.0, cap=0.2)
+        rng = sim.rng("t")
+        samples = [model.sample(rng, None, None) for _ in range(500)]
+        assert max(samples) <= 0.2
+        assert min(samples) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0)
+
+    def test_invalid_loss_rate(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            Network(sim, loss_rate=1.0)

@@ -1,0 +1,193 @@
+"""Tests for versioned tuples and the durable memtable."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    Memtable,
+    Version,
+    VersionedTuple,
+    ZERO_VERSION,
+    make_tombstone,
+    make_tuple,
+)
+
+
+class TestVersion:
+    def test_total_order(self):
+        assert Version(1, 0) < Version(2, 0)
+        assert Version(2, 1) < Version(2, 2)  # coordinator breaks ties
+        assert Version(3, 0) > Version(2, 99)
+
+    def test_next(self):
+        v = Version(4, 1).next(coordinator=9)
+        assert v == Version(5, 9)
+
+    def test_packed_roundtrip(self):
+        v = Version(123456, 789)
+        assert Version.unpacked(v.packed()) == v
+
+    def test_packed_preserves_order(self):
+        a, b = Version(1, 5), Version(2, 0)
+        assert (a.packed() < b.packed()) == (a < b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Version(-1, 0)
+        with pytest.raises(ValueError):
+            Version(0, 1 << 20)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=(1 << 20) - 1),
+           st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=(1 << 20) - 1))
+    @settings(max_examples=100)
+    def test_packed_order_property(self, s1, c1, s2, c2):
+        a, b = Version(s1, c1), Version(s2, c2)
+        assert (a.packed() < b.packed()) == (a < b)
+        assert Version.unpacked(a.packed()) == a
+
+
+class TestVersionedTuple:
+    def test_newer_than(self):
+        old = make_tuple("k", {"x": 1}, Version(1, 0))
+        new = make_tuple("k", {"x": 2}, Version(2, 0))
+        assert new.newer_than(old)
+        assert not old.newer_than(new)
+        assert new.newer_than(None)
+
+    def test_record_copied(self):
+        source = {"x": 1}
+        item = make_tuple("k", source, Version(1, 0))
+        source["x"] = 99
+        assert item.record["x"] == 1
+
+    def test_tombstone(self):
+        grave = make_tombstone("k", Version(3, 0))
+        assert grave.tombstone
+        assert grave.record == {}
+
+    def test_attribute(self):
+        item = make_tuple("k", {"age": 30}, Version(1, 0))
+        assert item.attribute("age") == 30
+        assert item.attribute("nope") is None
+
+
+class TestMemtable:
+    def test_put_get(self):
+        table = Memtable()
+        item = make_tuple("k", {"x": 1}, Version(1, 0))
+        assert table.put(item)
+        assert table.get("k") == item
+        assert "k" in table
+        assert len(table) == 1
+
+    def test_lww_semantics(self):
+        table = Memtable()
+        table.put(make_tuple("k", {"x": 1}, Version(2, 0)))
+        assert not table.put(make_tuple("k", {"x": 0}, Version(1, 0)))  # stale
+        assert table.get("k").record["x"] == 1
+        assert table.put(make_tuple("k", {"x": 2}, Version(3, 0)))
+        assert table.get("k").record["x"] == 2
+
+    def test_equal_version_not_applied(self):
+        table = Memtable()
+        table.put(make_tuple("k", {"x": 1}, Version(1, 0)))
+        assert not table.put(make_tuple("k", {"x": 9}, Version(1, 0)))
+
+    def test_tombstone_hides_key(self):
+        table = Memtable()
+        table.put(make_tuple("k", {"x": 1}, Version(1, 0)))
+        table.put(make_tombstone("k", Version(2, 0)))
+        assert table.get("k") is None
+        assert table.get_any("k") is not None
+        assert "k" not in table
+        assert list(table.items()) == []
+
+    def test_tombstone_cannot_be_resurrected_by_stale_write(self):
+        table = Memtable()
+        table.put(make_tombstone("k", Version(5, 0)))
+        assert not table.put(make_tuple("k", {"x": 1}, Version(4, 0)))
+        assert table.get("k") is None
+
+    def test_capacity_rejects_new_keys(self):
+        table = Memtable(capacity=2)
+        table.put(make_tuple("a", {}, Version(1, 0)))
+        table.put(make_tuple("b", {}, Version(1, 0)))
+        assert not table.put(make_tuple("c", {}, Version(1, 0)))
+        assert table.rejected_puts == 1
+        assert table.is_full()
+
+    def test_capacity_allows_updates_when_full(self):
+        table = Memtable(capacity=1)
+        table.put(make_tuple("a", {"x": 1}, Version(1, 0)))
+        assert table.put(make_tuple("a", {"x": 2}, Version(2, 0)))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Memtable(capacity=0)
+
+    def test_delete_removes_outright(self):
+        table = Memtable()
+        table.put(make_tuple("k", {}, Version(1, 0)))
+        table.delete("k")
+        assert table.get_any("k") is None
+
+    def test_scan_by_attribute(self):
+        table = Memtable()
+        for i in range(10):
+            table.put(make_tuple(f"k{i}", {"v": float(i)}, Version(1, 0)))
+        hits = table.scan("v", 3, 6)
+        assert sorted(t.record["v"] for t in hits) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_scan_skips_non_numeric_and_bools(self):
+        table = Memtable()
+        table.put(make_tuple("a", {"v": "str"}, Version(1, 0)))
+        table.put(make_tuple("b", {"v": True}, Version(1, 0)))
+        table.put(make_tuple("c", {"v": 1.0}, Version(1, 0)))
+        assert len(table.scan("v", 0, 2)) == 1
+
+    def test_attribute_values(self):
+        table = Memtable()
+        table.put(make_tuple("a", {"v": 1}, Version(1, 0)))
+        table.put(make_tuple("b", {"other": 2}, Version(1, 0)))
+        assert dict(table.attribute_values("v")) == {"a": 1.0}
+
+    def test_anti_entropy_interface(self):
+        table = Memtable()
+        table.put(make_tuple("a", {"x": 1}, Version(3, 2)))
+        digest = table.digest()
+        assert digest == {"a": Version(3, 2).packed()}
+        fetched = table.fetch(["a", "missing"])
+        assert len(fetched) == 1
+        other = Memtable()
+        assert other.apply(fetched) == 1
+        assert other.get("a").record == {"x": 1}
+        assert other.apply(fetched) == 0  # idempotent
+
+    def test_apply_preserves_tombstones(self):
+        table = Memtable()
+        table.put(make_tombstone("k", Version(2, 0)))
+        other = Memtable()
+        other.apply(table.fetch(["k"]))
+        assert other.get("k") is None
+        assert other.get_any("k").tombstone
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(min_value=1, max_value=50),
+                              st.integers(min_value=0, max_value=100)),
+                    max_size=60))
+    @settings(max_examples=50)
+    def test_lww_invariant_property(self, writes):
+        """After any write sequence, each key holds its max version."""
+        table = Memtable()
+        best = {}
+        for key, seq, value in writes:
+            version = Version(seq, 0)
+            table.put(make_tuple(key, {"v": value}, version))
+            if key not in best or version > best[key][0]:
+                best[key] = (version, value)
+        for key, (version, value) in best.items():
+            held = table.get(key)
+            assert held is not None
+            assert held.version == version
+            assert held.record["v"] == value

@@ -1,0 +1,113 @@
+"""Scenario tests: YCSB-style operation mixes driven end to end."""
+
+import pytest
+
+from repro import DataDroplets, DataDropletsConfig, IndexSpec, TimeoutError_, UnavailableError
+from repro.workloads import MixRatios, OperationStream, apply_operation, normal_records
+import random
+
+
+@pytest.fixture(scope="module")
+def loaded_system():
+    dd = DataDroplets(DataDropletsConfig(
+        seed=91, n_storage=40, n_soft=2, replication=4,
+        indexes=(IndexSpec("value", lo=0, hi=100),),
+    )).start(warmup=15.0)
+    dataset = normal_records(50, random.Random(3), mean=50, stddev=15)
+    for key, record in dataset:
+        dd.put(key, record)
+    dd.run_for(40.0)
+    dd.dataset = dataset
+    return dd
+
+
+class TestReadHeavyMix:
+    def test_ycsb_b_style(self, loaded_system):
+        """95/5 read/update mix: every operation must succeed."""
+        dd = loaded_system
+        stream = OperationStream(dd.dataset, MixRatios(update_fraction=0.05),
+                                 seed=4, zipf_theta=0.8)
+        failures = 0
+        for operation in stream.take(60):
+            try:
+                apply_operation(dd, operation)
+            except (UnavailableError, TimeoutError_):
+                failures += 1
+        assert failures == 0
+
+    def test_zipf_mix_hits_cache(self, loaded_system):
+        dd = loaded_system
+        before_hits = dd.metrics.counter_value("soft.cache_hits")
+        stream = OperationStream(dd.dataset, MixRatios(update_fraction=0.0),
+                                 seed=5, zipf_theta=1.2)
+        for operation in stream.take(50):
+            apply_operation(dd, operation)
+        # hot keys repeat under zipf -> cache absorbs most reads
+        assert dd.metrics.counter_value("soft.cache_hits") - before_hits > 25
+
+
+class TestMixedMix:
+    def test_scan_heavy_mix(self, loaded_system):
+        dd = loaded_system
+        stream = OperationStream(
+            dd.dataset,
+            MixRatios(update_fraction=0.1, scan_fraction=0.3),
+            seed=6,
+            scan_attribute="value", scan_lo=0, scan_hi=100, scan_span=15,
+        )
+        scans = 0
+        for operation in stream.take(30):
+            result = apply_operation(dd, operation)
+            if operation.kind == "scan":
+                scans += 1
+                assert isinstance(result, list)
+                for row in result:
+                    assert operation.low <= row["value"] <= operation.high
+        assert scans > 0
+
+    def test_multiget_mix(self, loaded_system):
+        dd = loaded_system
+        stream = OperationStream(
+            dd.dataset,
+            MixRatios(update_fraction=0.0, multiget_fraction=1.0),
+            seed=7, multiget_size=4,
+        )
+        for operation in stream.take(10):
+            result = apply_operation(dd, operation)
+            assert set(result.keys()) == set(operation.keys)
+            assert sum(1 for v in result.values() if v is not None) >= 3
+
+    def test_updates_visible_in_subsequent_reads(self, loaded_system):
+        dd = loaded_system
+        stream = OperationStream(dd.dataset, MixRatios(update_fraction=1.0), seed=8)
+        operations = stream.take(10)
+        for operation in operations:
+            apply_operation(dd, operation)
+        # each updated key now reads back the latest rev written for it
+        latest = {}
+        for operation in operations:
+            latest[operation.key] = operation.record["rev"]
+        for key, rev in latest.items():
+            assert dd.get(key)["rev"] == rev
+
+
+class TestMixUnderChurn:
+    def test_mixed_workload_survives_churn(self):
+        dd = DataDroplets(DataDropletsConfig(
+            seed=92, n_storage=36, n_soft=2, replication=5,
+        )).start(warmup=15.0)
+        dataset = [(f"r{i}", {"v": i}) for i in range(30)]
+        for key, record in dataset:
+            dd.put(key, record)
+        dd.run_for(20.0)
+        churn = dd.churn(event_rate=0.4, mean_downtime=10.0)
+        churn.start()
+        stream = OperationStream(dataset, MixRatios(update_fraction=0.2), seed=9)
+        failures = 0
+        for operation in stream.take(40):
+            try:
+                apply_operation(dd, operation)
+            except (UnavailableError, TimeoutError_):
+                failures += 1
+        churn.stop()
+        assert failures <= 2

@@ -1,0 +1,183 @@
+"""Tests for workload generators and processing helpers."""
+
+import collections
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.processing import (
+    GroundTruth,
+    ScanQuality,
+    evaluate_scan,
+    hash_join,
+    relative_errors,
+)
+from repro.processing.aggregate import AggregateSnapshot
+from repro.workloads import (
+    MixRatios,
+    Operation,
+    OperationStream,
+    normal_records,
+    normal_values,
+    uniform_records,
+    user_events,
+    zipf_sampler,
+)
+
+
+class TestZipfSampler:
+    def test_uniform_when_theta_zero(self):
+        rng = random.Random(1)
+        sample = zipf_sampler(10, 0.0, rng)
+        counts = collections.Counter(sample() for _ in range(5000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_skew_concentrates_on_low_ranks(self):
+        rng = random.Random(1)
+        sample = zipf_sampler(100, 1.2, rng)
+        counts = collections.Counter(sample() for _ in range(5000))
+        assert counts[0] > counts.get(50, 0) * 3
+
+    def test_all_ranks_in_range(self):
+        rng = random.Random(2)
+        sample = zipf_sampler(7, 0.9, rng)
+        assert all(0 <= sample() < 7 for _ in range(200))
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            zipf_sampler(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            zipf_sampler(5, -1.0, rng)
+
+    @given(st.integers(min_value=1, max_value=50), st.floats(min_value=0, max_value=3))
+    @settings(max_examples=30)
+    def test_sampler_property(self, n, theta):
+        sample = zipf_sampler(n, theta, random.Random(3))
+        assert 0 <= sample() < n
+
+
+class TestRecordGenerators:
+    def test_normal_values_clipped(self):
+        values = normal_values(500, 50, 30, random.Random(1), lo=0, hi=100)
+        assert all(0 <= v <= 100 for v in values)
+        assert 30 < statistics.fmean(values) < 70
+
+    def test_uniform_records_shape(self):
+        rows = uniform_records(10, random.Random(1), attribute="x", key_prefix="p")
+        assert len(rows) == 10
+        assert rows[0][0] == "p:0"
+        assert "x" in rows[0][1]
+
+    def test_normal_records_distribution(self):
+        rows = normal_records(1000, random.Random(1), mean=40, stddev=5, lo=0, hi=100)
+        values = [r["value"] for _, r in rows]
+        assert 35 < statistics.fmean(values) < 45
+
+    def test_user_events_share_prefix_and_field(self):
+        rows = user_events(3, 4, random.Random(1))
+        assert len(rows) == 12
+        for key, record in rows:
+            prefix = key.split(":")[0]
+            assert record["user"] == prefix
+
+
+class TestOperationStream:
+    def dataset(self):
+        return [(f"k{i}", {"v": float(i)}) for i in range(20)]
+
+    def test_mix_ratio_roughly_respected(self):
+        stream = OperationStream(self.dataset(), MixRatios(update_fraction=0.3), seed=1)
+        ops = stream.take(2000)
+        kinds = collections.Counter(op.kind for op in ops)
+        assert abs(kinds["put"] / 2000 - 0.3) < 0.05
+        assert kinds["get"] == 2000 - kinds["put"]
+
+    def test_updates_change_record(self):
+        stream = OperationStream(self.dataset(), MixRatios(update_fraction=1.0), seed=1)
+        first, second = stream.take(2)
+        assert first.record["rev"] != second.record["rev"]
+
+    def test_scan_operations_generated(self):
+        stream = OperationStream(
+            self.dataset(), MixRatios(update_fraction=0.0, scan_fraction=1.0),
+            seed=1, scan_attribute="v", scan_lo=0, scan_hi=20, scan_span=5,
+        )
+        op = stream.next_operation()
+        assert op.kind == "scan"
+        assert op.high - op.low <= 5.000001
+
+    def test_multiget_operations(self):
+        stream = OperationStream(
+            self.dataset(), MixRatios(update_fraction=0.0, multiget_fraction=1.0),
+            seed=1, multiget_size=4,
+        )
+        op = stream.next_operation()
+        assert op.kind == "multi_get"
+        assert len(op.keys) == 4
+
+    def test_deterministic_given_seed(self):
+        a = OperationStream(self.dataset(), MixRatios(0.5), seed=9).take(50)
+        b = OperationStream(self.dataset(), MixRatios(0.5), seed=9).take(50)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixRatios(update_fraction=0.8, scan_fraction=0.5)
+        with pytest.raises(ValueError):
+            OperationStream([], MixRatios())
+
+
+class TestProcessingHelpers:
+    def test_hash_join_basic(self):
+        left = [{"id": 1, "a": "x"}, {"id": 2, "a": "y"}]
+        right = [{"id": 1, "b": "z"}, {"id": 3, "b": "w"}]
+        rows = hash_join(left, right, on="id")
+        assert len(rows) == 1
+        assert rows[0]["a"] == "x"
+        assert rows[0]["right.b"] == "z"
+
+    def test_hash_join_many_to_many(self):
+        left = [{"k": 1}] * 2
+        right = [{"k": 1}] * 3
+        assert len(hash_join(left, right, on="k")) == 6
+
+    def test_hash_join_custom_projection(self):
+        rows = hash_join([{"k": 1, "a": 2}], [{"k": 1, "b": 3}], on="k",
+                         select=lambda l, r: {"sum": l["a"] + r["b"]})
+        assert rows == [{"sum": 5}]
+
+    def test_ground_truth(self):
+        truth = GroundTruth.of([1.0, 2.0, 3.0])
+        assert truth.count == 3
+        assert truth.avg == 2.0
+        assert truth.maximum == 3.0
+        with pytest.raises(ValueError):
+            GroundTruth.of([])
+
+    def test_relative_errors(self):
+        estimate = AggregateSnapshot("v", count=9.0, sum=None, avg=2.2,
+                                     maximum=3.0, minimum=1.0)
+        truth = GroundTruth.of([1.0, 2.0, 3.0])
+        errors = relative_errors(estimate, truth)
+        assert errors["count"] == pytest.approx(2.0)
+        assert errors["max"] == 0.0
+        import math
+        assert math.isnan(errors["sum"])
+
+    def test_evaluate_scan(self):
+        dataset = [("a", {"v": 1.0}), ("b", {"v": 5.0}), ("c", {"v": 9.0})]
+        rows = [{"_key": "a", "v": 1.0}, {"_key": "x", "v": 2.0}]
+        quality = evaluate_scan(rows, dataset, "v", 0, 6)
+        assert quality.expected == 2  # a and b
+        assert quality.correct == 1
+        assert quality.recall == 0.5
+        assert quality.precision == 0.5
+
+    def test_scan_quality_degenerate(self):
+        quality = ScanQuality(returned=0, expected=0, correct=0)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
