@@ -1,0 +1,106 @@
+"""E0 — simulation-core microbenchmarks (events/sec, messages/sec).
+
+Every experiment in this suite is bounded by how fast the discrete-event
+core drains events and pushes messages through ``Network.send``. These
+microbenchmarks track the two hot paths directly so a regression in the
+core shows up in the perf trajectory before it shows up as hours of
+benchmark wall time.
+
+Reference points (same container, PR 1): the seed core ran ~22.6k msg/s
+and ~110k events/s; the cached-size + interned-counter + slots-queue
+core runs these paths several times faster. The assertions below are
+deliberately loose sanity floors, not thresholds — CI machines vary.
+"""
+
+import time
+
+from repro.common.ids import NodeId
+from repro.epidemic.eager import GossipMessage
+from repro.sim import FixedLatency, Network, Simulation
+
+from _helpers import print_table, run_once, stash
+
+N_EVENTS = 200_000
+N_MESSAGES = 100_000
+N_SINKS = 100
+
+
+class _Sink:
+    """Minimal registered endpoint: counts deliveries, no protocol stack."""
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+        self.is_up = True
+        self.received = 0
+
+    def handle_message(self, src, protocol, message) -> None:
+        self.received += 1
+
+
+def _drain_events() -> dict:
+    sim = Simulation(seed=7)
+
+    def noop() -> None:
+        pass
+
+    schedule = sim.schedule
+    start = time.perf_counter()
+    for i in range(N_EVENTS):
+        schedule(i * 1e-6, noop)
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed == N_EVENTS
+    return {"events": N_EVENTS, "seconds": elapsed, "events_per_sec": N_EVENTS / elapsed}
+
+
+def _pump_messages() -> dict:
+    sim = Simulation(seed=7)
+    network = Network(sim, latency=FixedLatency(0.001))
+    sinks = [_Sink(NodeId(i)) for i in range(N_SINKS)]
+    for sink in sinks:
+        network.register(sink)
+    send = network.send
+    start = time.perf_counter()
+    for i in range(N_MESSAGES):
+        message = GossipMessage(f"item-{i % 50}", {"score": 1.0, "pad": "x" * 64}, 3)
+        send(sinks[i % N_SINKS].node_id, sinks[(i * 7 + 1) % N_SINKS].node_id,
+             "gossip", message)
+        if i % 1000 == 0:  # keep the queue shallow, like a live simulation
+            sim.run_until_idle()
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - start
+    delivered = sum(sink.received for sink in sinks)
+    assert delivered == N_MESSAGES
+    assert network.message_count == N_MESSAGES
+    assert network.byte_count > 0
+    return {"messages": N_MESSAGES, "seconds": elapsed,
+            "messages_per_sec": N_MESSAGES / elapsed}
+
+
+def test_e00_event_throughput(benchmark):
+    def experiment():
+        return _drain_events()
+
+    row = run_once(benchmark, experiment)
+    print_table(
+        "E0a — event-queue drain throughput",
+        ["events", "seconds", "events/sec"],
+        [(row["events"], row["seconds"], row["events_per_sec"])],
+    )
+    stash(benchmark, "throughput", [row])
+    # loose sanity floor; the real trajectory lives in extra_info
+    assert row["events_per_sec"] > 10_000
+
+
+def test_e00_message_throughput(benchmark):
+    def experiment():
+        return _pump_messages()
+
+    row = run_once(benchmark, experiment)
+    print_table(
+        "E0b — Network.send + delivery throughput (fresh 64-byte-payload messages)",
+        ["messages", "seconds", "messages/sec"],
+        [(row["messages"], row["seconds"], row["messages_per_sec"])],
+    )
+    stash(benchmark, "throughput", [row])
+    assert row["messages_per_sec"] > 5_000

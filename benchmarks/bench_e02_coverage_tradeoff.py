@@ -12,9 +12,8 @@ lazy (advertise/pull) dissemination in bytes.
 
 import math
 
-from repro.epidemic import EagerGossip, LazyGossip, expected_coverage
-from repro.membership import CyclonProtocol
-from repro.sim import Cluster, Simulation, UniformLatency
+from repro.epidemic import expected_coverage
+from repro.sim import SweepCell, require_ok, run_sweep
 
 from _helpers import print_table, run_once, stash
 
@@ -22,7 +21,16 @@ N = 400
 BROADCASTS = 10
 
 
-def _run_coverage(fanout: int, seed: int, lazy: bool = False):
+def coverage_cell(config: dict, seed: int) -> dict:
+    """Sweep cell: dissemination coverage/cost at one (fanout, variant).
+
+    Module-level so the parallel sweep runner can ship it to workers.
+    """
+    from repro.epidemic import EagerGossip, LazyGossip
+    from repro.membership import CyclonProtocol
+    from repro.sim import Cluster, Simulation, UniformLatency
+
+    fanout, lazy = config["fanout"], config["lazy"]
     sim = Simulation(seed=seed)
     cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
 
@@ -40,18 +48,23 @@ def _run_coverage(fanout: int, seed: int, lazy: bool = False):
         nodes[(i * 31) % N].protocol("gossip").broadcast(f"b{i}", {"seq": i, "pad": "x" * 256})
         sim.run_for(8.0)
         reached_total += sum(1 for n in nodes if n.protocol("gossip").has_seen(f"b{i}"))
-    coverage = reached_total / (BROADCASTS * N)
-    msgs = (cluster.metrics.counter_value("net.sent.gossip") - base_msgs) / BROADCASTS
-    bytes_ = (cluster.metrics.counter_value("net.bytes.gossip") - base_bytes) / BROADCASTS
-    return coverage, msgs, bytes_
+    return {
+        "coverage": reached_total / (BROADCASTS * N),
+        "msgs": (cluster.metrics.counter_value("net.sent.gossip") - base_msgs) / BROADCASTS,
+        "bytes": (cluster.metrics.counter_value("net.bytes.gossip") - base_bytes) / BROADCASTS,
+    }
 
 
 def test_e02_coverage_vs_fanout(benchmark):
     def experiment():
-        rows = []
-        for fanout in (1, 2, 3, 4, 6, 9, 12):
-            coverage, msgs, _ = _run_coverage(fanout, seed=200 + fanout)
-            rows.append((fanout, coverage, expected_coverage(fanout), msgs))
+        fanouts = (1, 2, 3, 4, 6, 9, 12)
+        cells = [SweepCell({"fanout": f, "lazy": False}, seed=200 + f) for f in fanouts]
+        results = require_ok(run_sweep(coverage_cell, cells))
+        rows = [
+            (cell.config["fanout"], r.result["coverage"],
+             expected_coverage(cell.config["fanout"]), r.result["msgs"])
+            for cell, r in zip(cells, results)
+        ]
         print_table(
             f"E2a — coverage vs fanout (N={N}; fixed point pi=1-exp(-f*pi))",
             ["fanout", "coverage", "predicted", "relayed msgs/bcast"],
@@ -80,10 +93,13 @@ def test_e02_coverage_vs_fanout(benchmark):
 def test_e02_eager_vs_lazy_bytes(benchmark):
     def experiment():
         fanout = math.ceil(math.log(N)) + 2
-        rows = []
-        for lazy in (False, True):
-            coverage, msgs, bytes_ = _run_coverage(fanout, seed=250, lazy=lazy)
-            rows.append(("lazy" if lazy else "eager", fanout, coverage, msgs, bytes_))
+        cells = [SweepCell({"fanout": fanout, "lazy": lazy}, seed=250) for lazy in (False, True)]
+        results = require_ok(run_sweep(coverage_cell, cells))
+        rows = [
+            ("lazy" if cell.config["lazy"] else "eager", fanout,
+             r.result["coverage"], r.result["msgs"], r.result["bytes"])
+            for cell, r in zip(cells, results)
+        ]
         print_table(
             "E2b — eager push vs lazy (advertise/pull), 256-byte payloads",
             ["variant", "fanout", "coverage", "msgs/bcast", "bytes/bcast"],

@@ -108,6 +108,71 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_coverage_cell(config: dict, seed: int) -> dict:
+    """One sweep cell: eager-gossip coverage at a given fanout.
+
+    Module-level so :func:`repro.sim.sweep.run_sweep` can ship it to
+    worker processes; all randomness flows from ``seed``.
+    """
+    from repro.epidemic import EagerGossip
+    from repro.membership import CyclonProtocol
+    from repro.sim import Cluster, Simulation, UniformLatency
+
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+    fanout = config["fanout"]
+
+    def factory(node):
+        return [
+            CyclonProtocol(view_size=14, shuffle_size=7, period=1.0),
+            EagerGossip(fanout=fanout),
+        ]
+
+    nodes = cluster.add_nodes(config["nodes"], factory)
+    cluster.seed_views("membership", 5)
+    sim.run_for(10.0)
+    nodes[0].protocol("gossip").broadcast("probe", {"pad": "x" * 64})
+    sim.run_for(config["duration"])
+    reached = sum(1 for node in nodes if node.protocol("gossip").has_seen("probe"))
+    return {
+        "coverage": reached / config["nodes"],
+        "messages": cluster.metrics.counter_value("net.sent.total"),
+        "bytes": cluster.metrics.counter_value("net.bytes.total"),
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import statistics
+
+    from repro.sim.sweep import grid, run_sweep
+
+    fanouts = [int(f) for f in args.fanouts.split(",")]
+    seeds = [int(s) for s in args.seeds.split(",")]
+    configs = [
+        {"fanout": fanout, "nodes": args.nodes, "duration": args.duration}
+        for fanout in fanouts
+    ]
+    cells = grid(configs, seeds)
+    print(f"sweep: {len(fanouts)} fanouts x {len(seeds)} seeds = {len(cells)} cells, "
+          f"workers={args.workers or 'auto'}")
+    results = run_sweep(_sweep_coverage_cell, cells, workers=args.workers)
+    print(f"{'fanout':>6}  {'coverage (mean)':>15}  {'min':>7}  {'max':>7}  {'msgs (mean)':>12}")
+    failed = 0
+    for fanout in fanouts:
+        rows = [r for r in results if r.ok and r.config["fanout"] == fanout]
+        failed += sum(1 for r in results if not r.ok and r.config["fanout"] == fanout)
+        if not rows:
+            continue
+        coverages = [r.result["coverage"] for r in rows]
+        messages = statistics.fmean(r.result["messages"] for r in rows)
+        print(f"{fanout:>6}  {statistics.fmean(coverages):>15.3f}  "
+              f"{min(coverages):>7.3f}  {max(coverages):>7.3f}  {messages:>12,.0f}")
+    if failed:
+        print(f"warning: {failed} cell(s) failed")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -138,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("-k", type=int, default=64)
     estimate.add_argument("--seed", type=int, default=42)
     estimate.set_defaults(fn=_cmd_estimate)
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel coverage sweep over fanouts x seeds")
+    sweep.add_argument("-n", "--nodes", type=int, default=200)
+    sweep.add_argument("--fanouts", default="1,2,3,4,6,9",
+                       help="comma-separated fanout grid")
+    sweep.add_argument("--seeds", default="1,2,3",
+                       help="comma-separated seed grid")
+    sweep.add_argument("--duration", type=float, default=10.0,
+                       help="seconds of dissemination per cell")
+    sweep.add_argument("-w", "--workers", type=int, default=None,
+                       help="worker processes (default: one per cpu)")
+    sweep.set_defaults(fn=_cmd_sweep)
 
     return parser
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Type, TypeVar
+from typing import Any, Dict, Tuple, Type, TypeVar
 
 from repro.common.errors import UnknownMessageError
 from repro.common.ids import NodeId
@@ -40,10 +40,28 @@ class Message:
         """Rough serialized size, used for network-cost accounting.
 
         The estimate is intentionally cheap: a fixed per-message header
-        plus a recursive walk of the payload. Benchmarks compare costs
+        plus a walk of the payload fields. Benchmarks compare costs
         *between* protocols, so only relative accuracy matters.
+
+        Messages are immutable, so the size is computed once on first
+        call and cached on the instance — the network charges bytes per
+        send, and gossip relays the same message object many times.
         """
-        return 16 + _estimate(dataclasses.asdict(self))
+        try:
+            return self._size_bytes_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            size = 16 + _walk(self)
+            object.__setattr__(self, "_size_bytes_cache", size)
+            return size
+
+
+def recursive_size_estimate(message: "Message") -> int:
+    """Reference size estimate via a full ``dataclasses.asdict`` walk.
+
+    This is the original (slow) implementation; :meth:`Message.size_bytes`
+    must agree with it exactly. Kept for regression tests.
+    """
+    return 16 + _estimate(dataclasses.asdict(message))
 
 
 def _estimate(value: Any) -> int:
@@ -65,6 +83,77 @@ def _estimate(value: Any) -> int:
         return 8
     if dataclasses.is_dataclass(value):
         return _estimate(dataclasses.asdict(value))
+    return 8
+
+
+#: Per-class cache of (field name, len(field name)) pairs so the hot walk
+#: never re-runs ``dataclasses.fields``.
+_FIELD_CACHE: Dict[type, Tuple[Tuple[str, int], ...]] = {}
+
+
+def _fields_of(cls: type) -> Tuple[Tuple[str, int], ...]:
+    cached = _FIELD_CACHE.get(cls)
+    if cached is None:
+        cached = tuple((f.name, len(f.name)) for f in dataclasses.fields(cls))
+        _FIELD_CACHE[cls] = cached
+    return cached
+
+
+def _walk(value: Any) -> int:
+    """Size a payload without materializing the ``asdict`` copy.
+
+    Must return exactly what ``_estimate(dataclasses.asdict(...))``
+    returns: ``asdict`` converts nested dataclasses (NodeId included)
+    into field-name dicts, recurses into dicts/lists/tuples, and leaves
+    set members untouched — so sets fall back to :func:`_estimate`.
+    """
+    if value is None or value is True or value is False:
+        return 1
+    kind = type(value)
+    if kind is NodeId:
+        label = value.label
+        # len("value") + 8 + len("label") + estimate(label)
+        return 18 + (1 if label is None else len(label))
+    if kind is str:
+        return len(value)
+    if kind is int:
+        return 8
+    if kind is float:
+        return 8
+    if kind is tuple or kind is list:
+        total = 0
+        for item in value:
+            total += _walk(item)
+        return total
+    if kind is dict:
+        total = 0
+        for key, val in value.items():
+            total += _walk(key) + _walk(val)
+        return total
+    if kind is bytes:
+        return len(value)
+    # Slow path: subclasses, other dataclasses, sets, unknowns.
+    if isinstance(value, bool):
+        return 1
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        total = 0
+        for name, name_len in _fields_of(type(value)):
+            total += name_len + _walk(getattr(value, name))
+        return total
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(_walk(k) + _walk(v) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return sum(_walk(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return sum(_estimate(item) for item in value)
     return 8
 
 

@@ -91,6 +91,13 @@ class AntiEntropy(Protocol):
         self._timer = None
 
     # ------------------------------------------------------------------
+    def bind(self, host) -> None:
+        super().bind(host)
+        metrics = host.metrics
+        self._c_rounds, self._c_items_applied = metrics.counter_pair(
+            "antientropy.rounds", "antientropy.items_applied")
+        self._c_unexpected = metrics.counter("antientropy.unexpected_message")
+
     def on_start(self) -> None:
         self._timer = self.every(self.period, self.run_round)
 
@@ -113,7 +120,7 @@ class AntiEntropy(Protocol):
         if peer is None:
             return
         self.send(peer, DigestMessage(self._digest_entries(), is_reply=False))
-        self.host.metrics.counter("antientropy.rounds").inc()
+        self._c_rounds.inc()
 
     def _digest_entries(self) -> Tuple[Tuple[str, int], ...]:
         digest = self.store.digest()
@@ -132,9 +139,9 @@ class AntiEntropy(Protocol):
                 self.send(sender, ItemsPush(tuple(items)))
         elif isinstance(message, ItemsPush):
             applied = self.store.apply(message.items)
-            self.host.metrics.counter("antientropy.items_applied").inc(applied)
+            self._c_items_applied.inc(applied)
         else:
-            self.host.metrics.counter("antientropy.unexpected_message").inc()
+            self._c_unexpected.inc()
 
     def _reconcile(self, sender: NodeId, remote: Dict[str, int], is_reply: bool) -> None:
         local = self.store.digest()

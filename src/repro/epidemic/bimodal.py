@@ -86,6 +86,16 @@ class BimodalMulticast(Protocol):
         self._timer = None
 
     # ------------------------------------------------------------------
+    def bind(self, host) -> None:
+        super().bind(host)
+        metrics = host.metrics
+        self._c_delivered, self._c_duplicates = metrics.counter_pair(
+            "gossip.delivered", "gossip.duplicates")
+        self._c_relayed = metrics.counter("gossip.relayed")
+        self._c_digests, self._c_solicits = metrics.counter_pair(
+            "pbcast.digests", "pbcast.solicits")
+        self._c_unexpected = metrics.counter("pbcast.unexpected_message")
+
     def on_start(self) -> None:
         self._items = OrderedDict()
         self._recent = OrderedDict()
@@ -117,7 +127,7 @@ class BimodalMulticast(Protocol):
 
     def _deliver(self, item_id: str, payload: Any, hops: int, relay: bool) -> None:
         if item_id in self._items:
-            self.host.metrics.counter("gossip.duplicates").inc()
+            self._c_duplicates.inc()
             return
         self._items[item_id] = (payload, hops)
         while len(self._items) > self.seen_capacity:
@@ -127,13 +137,13 @@ class BimodalMulticast(Protocol):
             self._recent.popitem(last=False)
         for deliver in self._subscribers:
             deliver(item_id, payload, hops)
-        self.host.metrics.counter("gossip.delivered").inc()
+        self._c_delivered.inc()
         if relay:
             relayed = PbcastData(item_id, payload, hops + 1)
             peers = self._sampler().sample_peers(self._current_fanout())
             for peer in peers:
                 self.send(peer, relayed)
-            self.host.metrics.counter("gossip.relayed").inc(len(peers))
+            self._c_relayed.inc(len(peers))
 
     # ------------------------------------------------------------------
     # pessimistic phase
@@ -144,7 +154,7 @@ class BimodalMulticast(Protocol):
         digest = PbcastDigest(tuple(self._recent.keys()))
         for peer in self._sampler().sample_peers(self.digest_fanout):
             self.send(peer, digest)
-        self.host.metrics.counter("pbcast.digests").inc()
+        self._c_digests.inc()
 
     def on_message(self, sender: NodeId, message: Message) -> None:
         if isinstance(message, PbcastData):
@@ -153,7 +163,7 @@ class BimodalMulticast(Protocol):
             missing = tuple(i for i in message.item_ids if i not in self._items)
             if missing:
                 self.send(sender, PbcastSolicit(missing))
-                self.host.metrics.counter("pbcast.solicits").inc(len(missing))
+                self._c_solicits.inc(len(missing))
         elif isinstance(message, PbcastSolicit):
             for item_id in message.item_ids:
                 held = self._items.get(item_id)
@@ -162,4 +172,4 @@ class BimodalMulticast(Protocol):
                     # retransmission does not re-trigger the eager phase
                     self.send(sender, PbcastData(item_id, payload, hops))
         else:
-            self.host.metrics.counter("pbcast.unexpected_message").inc()
+            self._c_unexpected.inc()

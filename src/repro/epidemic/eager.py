@@ -76,6 +76,16 @@ class EagerGossip(Protocol):
         self._subscribers: List[DeliverFn] = []
 
     # ------------------------------------------------------------------
+    def bind(self, host) -> None:
+        super().bind(host)
+        # Interned counter handles: the receive/relay loop runs once per
+        # message, so it must not resolve registry names per event.
+        metrics = host.metrics
+        self._c_delivered, self._c_duplicates = metrics.counter_pair(
+            "gossip.delivered", "gossip.duplicates")
+        self._c_relayed, self._c_unexpected = metrics.counter_pair(
+            "gossip.relayed", "gossip.unexpected_message")
+
     def on_start(self) -> None:
         self._seen = OrderedDict()
 
@@ -98,7 +108,7 @@ class EagerGossip(Protocol):
 
     def on_message(self, sender: NodeId, message: Message) -> None:
         if not isinstance(message, GossipMessage):
-            self.host.metrics.counter("gossip.unexpected_message").inc()
+            self._c_unexpected.inc()
             return
         self._receive(sender, message)
 
@@ -109,9 +119,9 @@ class EagerGossip(Protocol):
             self._remember(message.item_id)
             for deliver in self._subscribers:
                 deliver(message.item_id, message.payload, message.hops)
-            self.host.metrics.counter("gossip.delivered").inc()
+            self._c_delivered.inc()
         else:
-            self.host.metrics.counter("gossip.duplicates").inc()
+            self._c_duplicates.inc()
         should_relay = first_time if self.mode == "infect-and-die" else True
         if should_relay and (self.max_hops is None or message.hops < self.max_hops):
             self._relay(message)
@@ -124,7 +134,7 @@ class EagerGossip(Protocol):
         relayed = GossipMessage(message.item_id, message.payload, hops=message.hops + 1)
         for peer in peers:
             self.send(peer, relayed)
-        self.host.metrics.counter("gossip.relayed").inc(len(peers))
+        self._c_relayed.inc(len(peers))
 
     def _remember(self, item_id: str) -> None:
         self._seen[item_id] = None

@@ -81,6 +81,15 @@ class LazyGossip(Protocol):
         self._timer = None
 
     # ------------------------------------------------------------------
+    def bind(self, host) -> None:
+        super().bind(host)
+        metrics = host.metrics
+        self._c_delivered, self._c_duplicates = metrics.counter_pair(
+            "gossip.delivered", "gossip.duplicates")
+        self._c_advertised, self._c_pulls = metrics.counter_pair(
+            "gossip.advertised", "gossip.pulls")
+        self._c_unexpected = metrics.counter("gossip.unexpected_message")
+
     def on_start(self) -> None:
         self._items = OrderedDict()
         self._fresh = {}
@@ -112,7 +121,7 @@ class LazyGossip(Protocol):
     # ------------------------------------------------------------------
     def _store(self, item_id: str, payload: Any, hops: int) -> None:
         if item_id in self._items:
-            self.host.metrics.counter("gossip.duplicates").inc()
+            self._c_duplicates.inc()
             return
         self._items[item_id] = (payload, hops)
         while len(self._items) > self.seen_capacity:
@@ -122,7 +131,7 @@ class LazyGossip(Protocol):
         self._requested.pop(item_id, None)
         for deliver in self._subscribers:
             deliver(item_id, payload, hops)
-        self.host.metrics.counter("gossip.delivered").inc()
+        self._c_delivered.inc()
         self._advertise([item_id])
 
     def _advertise(self, item_ids: List[str]) -> None:
@@ -135,7 +144,7 @@ class LazyGossip(Protocol):
             return
         for peer in self._sampler().sample_peers(fanout):
             self.send(peer, Advertisement(ids, hops))
-        self.host.metrics.counter("gossip.advertised").inc(len(ids) * fanout)
+        self._c_advertised.inc(len(ids) * fanout)
 
     def _readvertise(self) -> None:
         due = [item_id for item_id, remaining in self._fresh.items() if remaining > 0]
@@ -151,7 +160,7 @@ class LazyGossip(Protocol):
                 for item_id in missing:
                     self._requested[item_id] = self.host.now
                 self.send(sender, PullRequest(missing))
-                self.host.metrics.counter("gossip.pulls").inc(len(missing))
+                self._c_pulls.inc(len(missing))
         elif isinstance(message, PullRequest):
             for item_id in message.item_ids:
                 held = self._items.get(item_id)
@@ -161,7 +170,7 @@ class LazyGossip(Protocol):
         elif isinstance(message, PullReply):
             self._store(message.item_id, message.payload, message.hops + 1)
         else:
-            self.host.metrics.counter("gossip.unexpected_message").inc()
+            self._c_unexpected.inc()
 
     def _recently_requested(self, item_id: str) -> bool:
         """Suppress duplicate pulls for ids requested within one period.

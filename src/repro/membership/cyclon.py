@@ -54,6 +54,11 @@ class CyclonProtocol(PeerSampler):
         self._pending: List[Tuple[NodeId, List[NodeId]]] = []
 
     # -- lifecycle -------------------------------------------------------
+    def bind(self, host) -> None:
+        super().bind(host)
+        self._c_shuffles, self._c_unexpected = host.metrics.counter_pair(
+            "cyclon.shuffles", "cyclon.unexpected_message")
+
     def on_start(self) -> None:
         self.view = PartialView(self.view_size, self.host.node_id)
         self._pending = []
@@ -98,7 +103,7 @@ class CyclonProtocol(PeerSampler):
         if len(self._pending) > 8:  # forget stale handshakes (lost replies)
             self._pending.pop(0)
         self.send(target.node_id, ShuffleRequest(payload))
-        self.host.metrics.counter("cyclon.shuffles").inc()
+        self._c_shuffles.inc()
 
     def on_message(self, sender: NodeId, message: Message) -> None:
         if isinstance(message, ShuffleRequest):
@@ -116,4 +121,4 @@ class CyclonProtocol(PeerSampler):
             # The answering peer is alive: keep a fresh pointer to it.
             self.view.add(NodeDescriptor(sender, 0))
         else:
-            self.host.metrics.counter("cyclon.unexpected_message").inc()
+            self._c_unexpected.inc()

@@ -47,6 +47,11 @@ class NewscastProtocol(PeerSampler):
         self._timer = None
 
     # -- lifecycle -------------------------------------------------------
+    def bind(self, host) -> None:
+        super().bind(host)
+        self._c_rounds, self._c_unexpected = host.metrics.counter_pair(
+            "newscast.rounds", "newscast.unexpected_message")
+
     def on_start(self) -> None:
         self._items = {}
         self._clock = 0
@@ -82,7 +87,7 @@ class NewscastProtocol(PeerSampler):
             return
         self._clock += 1
         self.send(peers[0], NewsExchange(self._snapshot(), is_reply=False))
-        self.host.metrics.counter("newscast.rounds").inc()
+        self._c_rounds.inc()
 
     def _snapshot(self) -> Tuple[NewsItem, ...]:
         own = NewsItem(self.host.node_id, self._clock)
@@ -102,7 +107,7 @@ class NewscastProtocol(PeerSampler):
 
     def on_message(self, sender: NodeId, message: Message) -> None:
         if not isinstance(message, NewsExchange):
-            self.host.metrics.counter("newscast.unexpected_message").inc()
+            self._c_unexpected.inc()
             return
         if not message.is_reply:
             self._clock += 1

@@ -73,6 +73,13 @@ class RandomWalkProtocol(Protocol):
         self._pending: Dict[str, ResultFn] = {}
         self._walk_seq = itertools.count()
 
+    def bind(self, host) -> None:
+        super().bind(host)
+        metrics = host.metrics
+        self._c_started, self._c_hops = metrics.counter_pair("walks.started", "walks.hops")
+        self._c_timeouts, self._c_unexpected = metrics.counter_pair(
+            "walks.timeouts", "walks.unexpected_message")
+
     def on_start(self) -> None:
         self._pending = {}
 
@@ -92,7 +99,7 @@ class RandomWalkProtocol(Protocol):
         self._pending[walk_id] = on_result
         self.host.set_timer(self.timeout, lambda: self._expire(walk_id))
         self._advance(WalkStep(walk_id, self.host.node_id, ttl, dict(probe or {})))
-        self.host.metrics.counter("walks.started").inc()
+        self._c_started.inc()
         return walk_id
 
     def start_walks(self, count: int, ttl: int, on_done: Callable[[list], None],
@@ -125,7 +132,7 @@ class RandomWalkProtocol(Protocol):
             self._complete(step)  # nowhere to go; report from here
             return
         self.send(peers[0], WalkStep(step.walk_id, step.origin, step.ttl - 1, step.probe))
-        self.host.metrics.counter("walks.hops").inc()
+        self._c_hops.inc()
 
     def _complete(self, step: WalkStep) -> None:
         info = self._build_report(step.probe)
@@ -149,7 +156,7 @@ class RandomWalkProtocol(Protocol):
 
     def _expire(self, walk_id: str) -> None:
         if walk_id in self._pending:
-            self.host.metrics.counter("walks.timeouts").inc()
+            self._c_timeouts.inc()
             self._deliver(walk_id, None)
 
     # ------------------------------------------------------------------
@@ -159,4 +166,4 @@ class RandomWalkProtocol(Protocol):
         elif isinstance(message, WalkResult):
             self._deliver(message.walk_id, message.info)
         else:
-            self.host.metrics.counter("walks.unexpected_message").inc()
+            self._c_unexpected.inc()

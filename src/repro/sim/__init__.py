@@ -9,6 +9,8 @@ Public surface:
 * :class:`Cluster` — population management and bootstrap sampling.
 * Churn models — Poisson crash/recover, catastrophic events, traces.
 * :class:`Metrics` — counters/histograms/time series for experiments.
+* :func:`run_sweep` / :func:`grid` — parallel, deterministic experiment
+  sweeps over ``(config, seed)`` grids.
 """
 
 from repro.sim.churn import (
@@ -28,9 +30,18 @@ from repro.sim.network import (
 )
 from repro.sim.node import Host, Node, NodeState, PeriodicTimer, Protocol, StackFactory
 from repro.sim.simulator import EventHandle, Simulation
+from repro.sim.sweep import (
+    CellResult,
+    SweepCell,
+    SweepCellError,
+    grid,
+    require_ok,
+    run_sweep,
+)
 
 __all__ = [
     "CatastrophicEvent",
+    "CellResult",
     "ChurnAction",
     "Cluster",
     "Counter",
@@ -50,7 +61,12 @@ __all__ = [
     "Protocol",
     "Simulation",
     "StackFactory",
+    "SweepCell",
+    "SweepCellError",
     "TimeSeries",
     "TraceChurn",
     "UniformLatency",
+    "grid",
+    "require_ok",
+    "run_sweep",
 ]

@@ -44,15 +44,22 @@ class Gauge:
 
 
 class Histogram:
-    """Accumulates observations; exposes summary statistics."""
+    """Accumulates observations; exposes summary statistics.
 
-    __slots__ = ("_values",)
+    Percentile queries sort lazily and cache the sorted view; the cache
+    is invalidated by :meth:`observe`, so report generation that asks
+    for many percentiles stays linear instead of re-sorting per call.
+    """
+
+    __slots__ = ("_values", "_sorted")
 
     def __init__(self) -> None:
         self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         self._values.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -80,7 +87,9 @@ class Histogram:
             return math.nan
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self._values)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._values)
         rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -133,6 +142,15 @@ class Metrics:
 
     def counter(self, name: str) -> Counter:
         return self.counters[name]
+
+    def counter_pair(self, first: str, second: str) -> Tuple[Counter, Counter]:
+        """Intern two counters at once and return direct handles.
+
+        Hot paths (``Network.send``, protocol inner loops) hold the
+        returned :class:`Counter` references instead of re-resolving
+        f-string names through the registry dict per event.
+        """
+        return self.counters[first], self.counters[second]
 
     def gauge(self, name: str) -> Gauge:
         return self.gauges[name]

@@ -11,11 +11,11 @@ for — they must tolerate loss and reordering natively.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.common.ids import NodeId
 from repro.common.messages import Message
-from repro.sim.metrics import Metrics
+from repro.sim.metrics import Counter, Metrics
 from repro.sim.simulator import Simulation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -99,6 +99,16 @@ class Network:
         # Optional reachability predicate for partitions: return False to
         # block (src, dst). None means fully connected.
         self._reachable: Optional[Callable[[NodeId, NodeId], bool]] = None
+        # Interned counter handles: the send path runs once per message,
+        # so it must not rebuild f-string keys or walk the registry dict.
+        m = self.metrics
+        self._sent_total, self._bytes_total = m.counter_pair("net.sent.total", "net.bytes.total")
+        self._delivered_total = m.counter("net.delivered.total")
+        self._dropped_unknown = m.counter("net.dropped.unknown_dest")
+        self._dropped_partition = m.counter("net.dropped.partition")
+        self._dropped_loss = m.counter("net.dropped.loss")
+        self._dropped_down = m.counter("net.dropped.node_down")
+        self._proto_handles: Dict[str, Tuple[Counter, Counter]] = {}
 
     # ------------------------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -117,6 +127,14 @@ class Network:
         self._reachable = reachable
 
     # ------------------------------------------------------------------
+    def protocol_counters(self, protocol: str) -> Tuple[Counter, Counter]:
+        """Interned ``(net.sent.<p>, net.bytes.<p>)`` handles for a protocol."""
+        handles = self._proto_handles.get(protocol)
+        if handles is None:
+            handles = self.metrics.counter_pair(f"net.sent.{protocol}", f"net.bytes.{protocol}")
+            self._proto_handles[protocol] = handles
+        return handles
+
     def send(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
         """Send one message; may be dropped, delayed and reordered.
 
@@ -124,28 +142,32 @@ class Network:
         epidemic protocols routinely gossip to stale descriptors, and
         that must behave like talking to a dead host, not crash the sim.
         """
-        self.metrics.counter(f"net.sent.{protocol}").inc()
-        self.metrics.counter("net.sent.total").inc()
-        self.metrics.counter("net.bytes.total").inc(message.size_bytes())
-        self.metrics.counter(f"net.bytes.{protocol}").inc(message.size_bytes())
+        handles = self._proto_handles.get(protocol)
+        if handles is None:
+            handles = self.protocol_counters(protocol)
+        size = message.size_bytes()
+        handles[0].inc()
+        handles[1].inc(size)
+        self._sent_total.inc()
+        self._bytes_total.inc(size)
         if dst not in self._nodes:
-            self.metrics.counter("net.dropped.unknown_dest").inc()
+            self._dropped_unknown.inc()
             return
         if self._reachable is not None and not self._reachable(src, dst):
-            self.metrics.counter("net.dropped.partition").inc()
+            self._dropped_partition.inc()
             return
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
-            self.metrics.counter("net.dropped.loss").inc()
+            self._dropped_loss.inc()
             return
         delay = self.latency.sample(self._rng, src, dst)
-        self.sim.schedule(delay, lambda: self._deliver(src, dst, protocol, message))
+        self.sim.schedule_call(delay, self._deliver, src, dst, protocol, message)
 
     def _deliver(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
         node = self._nodes.get(dst)
         if node is None or not node.is_up:
-            self.metrics.counter("net.dropped.node_down").inc()
+            self._dropped_down.inc()
             return
-        self.metrics.counter("net.delivered.total").inc()
+        self._delivered_total.inc()
         node.handle_message(src, protocol, message)
 
     # ------------------------------------------------------------------

@@ -17,16 +17,21 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """Queue record. The heap holds ``(time, seq, event)`` tuples so heap
+    comparisons stay pure C tuple comparisons (``seq`` is unique, the
+    event object itself is never compared)."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple = ()):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
 
 
 class EventHandle:
@@ -66,7 +71,7 @@ class Simulation:
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.now: float = 0.0
-        self._queue: list[_Event] = []
+        self._queue: list = []  # heap of (time, seq, _Event)
         self._seq = itertools.count()
         self._rngs: Dict[str, random.Random] = {}
         self._events_processed = 0
@@ -100,8 +105,22 @@ class Simulation:
         """Schedule ``callback`` at an absolute virtual time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = _Event(time, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        event = _Event(time, callback)
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+        return EventHandle(event)
+
+    def schedule_call(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Fast-path schedule: run ``callback(*args)`` after ``delay``.
+
+        Equivalent to ``schedule(delay, lambda: callback(*args))`` but
+        without allocating a closure per event — the network delivery
+        path schedules one of these per message.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        time = self.now + delay
+        event = _Event(time, callback, args)
+        heapq.heappush(self._queue, (time, next(self._seq), event))
         return EventHandle(event)
 
     # ------------------------------------------------------------------
@@ -109,13 +128,14 @@ class Simulation:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event. Returns False when queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            self.now = event.time
+            self.now = time
             self._events_processed += 1
-            event.callback()
+            event.callback(*event.args)
             return True
         return False
 
@@ -128,17 +148,23 @@ class Simulation:
         """
         if time < self.now:
             raise ValueError(f"cannot run backwards: {time} < {self.now}")
+        queue = self._queue
+        pop = heapq.heappop
         processed = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        while queue:
+            head = queue[0]
+            event = head[2]
+            if event.cancelled:
+                pop(queue)
                 continue
-            if head.time > time:
+            if head[0] > time:
                 break
             if max_events is not None and processed >= max_events:
                 break
-            self.step()
+            pop(queue)
+            self.now = head[0]
+            self._events_processed += 1
+            event.callback(*event.args)
             processed += 1
         self.now = max(self.now, time)
         return processed
@@ -149,8 +175,16 @@ class Simulation:
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Drain the queue completely (bounded by ``max_events``)."""
+        queue = self._queue
+        pop = heapq.heappop
         processed = 0
-        while processed < max_events and self.step():
+        while processed < max_events and queue:
+            time, _, event = pop(queue)
+            if event.cancelled:
+                continue
+            self.now = time
+            self._events_processed += 1
+            event.callback(*event.args)
             processed += 1
         return processed
 

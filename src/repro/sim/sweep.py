@@ -1,0 +1,133 @@
+"""Parallel experiment sweep runner.
+
+Every experiment in the benchmark suite is a grid of independent cells —
+``(config, seed)`` pairs, each driving one fully seeded simulation. The
+cells share nothing, so they parallelize perfectly across worker
+processes; this module fans a grid out with :mod:`multiprocessing` and
+merges the results back **in cell order**, so the output is identical
+no matter how many workers ran it (or whether it ran in-process at all).
+
+Determinism contract:
+
+* each cell function must derive *all* randomness from its ``seed``
+  argument (the :class:`~repro.sim.simulator.Simulation` seed discipline
+  already guarantees this for simulator-driven experiments), and
+* results are merged sorted by cell index, never by completion order.
+
+Under those two rules ``run_sweep(fn, cells, workers=1)`` and
+``run_sweep(fn, cells, workers=8)`` return equal results, which
+``tests/test_sim_sweep.py`` asserts byte-for-byte.
+
+The cell function must be defined at module top level (picklable by
+qualified name) — a closure or lambda cannot cross the process boundary.
+A cell that raises is reported as an error on its own
+:class:`CellResult`; the other cells still complete.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: A cell function: ``(config, seed) -> metrics mapping``. Must live at
+#: module top level and draw all randomness from ``seed``.
+CellFn = Callable[[Any, int], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of an experiment grid."""
+
+    config: Any
+    seed: int
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: either a result mapping or an error trace."""
+
+    index: int
+    config: Any
+    seed: int
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepCellError(RuntimeError):
+    """Raised by :func:`require_ok` when any cell failed."""
+
+
+def grid(configs: Iterable[Any], seeds: Iterable[int]) -> List[SweepCell]:
+    """Cross product configs × seeds in deterministic (row-major) order."""
+    seed_list = list(seeds)
+    return [SweepCell(config, seed) for config in configs for seed in seed_list]
+
+
+def _run_cell(payload: Tuple[int, CellFn, Any, int]) -> Tuple[int, Optional[Dict[str, Any]], Optional[str]]:
+    """Worker entry point: run one cell, trap any exception into the result."""
+    index, fn, config, seed = payload
+    try:
+        return index, fn(config, seed), None
+    except Exception:  # noqa: BLE001 — a cell crash must not sink the sweep
+        return index, None, traceback.format_exc()
+
+
+def run_sweep(
+    fn: CellFn,
+    cells: Sequence[SweepCell],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[CellResult]:
+    """Run every cell, fanning out across ``workers`` processes.
+
+    Args:
+        fn: module-level cell function ``(config, seed) -> dict``.
+        workers: process count; ``None`` picks ``min(len(cells), cpu)``,
+            ``1`` (or a single cell) runs inline with no subprocesses.
+        chunksize: cells handed to a worker per dispatch.
+
+    Returns:
+        One :class:`CellResult` per cell, in cell order regardless of
+        completion order or worker count. A cell whose function raised
+        carries the traceback in ``error``; the rest are unaffected.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if workers is None:
+        workers = min(len(cells), os.cpu_count() or 1)
+    payloads = [(index, fn, cell.config, cell.seed) for index, cell in enumerate(cells)]
+    if workers <= 1 or len(cells) == 1:
+        raw = [_run_cell(payload) for payload in payloads]
+    else:
+        with multiprocessing.get_context().Pool(processes=min(workers, len(cells))) as pool:
+            raw = list(pool.imap_unordered(_run_cell, payloads, chunksize=chunksize))
+    raw.sort(key=lambda item: item[0])
+    return [
+        CellResult(index=index, config=cells[index].config, seed=cells[index].seed,
+                   result=result, error=error)
+        for index, result, error in raw
+    ]
+
+
+def failures(results: Iterable[CellResult]) -> List[CellResult]:
+    """The subset of results whose cell raised."""
+    return [r for r in results if not r.ok]
+
+
+def require_ok(results: Sequence[CellResult]) -> List[CellResult]:
+    """Return ``results`` unchanged, raising if any cell failed."""
+    failed = failures(results)
+    if failed:
+        summary = "; ".join(
+            f"cell {r.index} (seed {r.seed}): {r.error.strip().splitlines()[-1]}" for r in failed
+        )
+        raise SweepCellError(f"{len(failed)} sweep cell(s) failed: {summary}")
+    return list(results)
