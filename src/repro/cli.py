@@ -173,6 +173,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment != "e15":
+        print(f"unknown bench {args.experiment!r}; available: e15", file=sys.stderr)
+        return 2
+    from repro.epidemic.costbench import measure_antientropy_cost
+
+    print(f"e15: anti-entropy cost, {args.items} items, "
+          f"{args.divergence:.2%} divergence, B={args.buckets}")
+    results = []
+    for bucketed in (False, True):
+        cell = measure_antientropy_cost(
+            args.items, args.divergence, bucketed=bucketed,
+            buckets=args.buckets, seed=args.seed,
+        )
+        results.append(cell)
+        converged = "n/a" if cell["converged_at"] is None else f"{cell['converged_at']:.0f}s"
+        print(f"  {cell['path']:<8}  digest {cell['digest_bytes_per_round']:>12,.0f} B/round  "
+              f"items {cell['items_bytes']:>10,.0f} B  converged {converged:>4}  "
+              f"identical {cell['identical']}  wall {cell['wall_s']:.3f}s")
+    legacy, bucketed = results
+    ratio = (legacy["digest_bytes_per_round"] / bucketed["digest_bytes_per_round"]
+             if bucketed["digest_bytes_per_round"] else float("inf"))
+    print(f"digest-byte reduction: {ratio:.1f}x")
+    if args.check:
+        ok = (
+            ratio >= 2.0
+            and legacy["identical"]
+            and bucketed["identical"]
+            and legacy["converged_at"] is not None
+            and bucketed["converged_at"] is not None
+        )
+        print("check:", "ok" if ok else "FAILED "
+              "(need >=2x digest reduction and identical converged stores)")
+        return 0 if ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -216,6 +253,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-w", "--workers", type=int, default=None,
                        help="worker processes (default: one per cpu)")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="quick experiment cells (e15: anti-entropy reconciliation cost)")
+    bench.add_argument("experiment", help="experiment id (e15)")
+    bench.add_argument("-n", "--items", type=int, default=2000)
+    bench.add_argument("--divergence", type=float, default=0.01)
+    bench.add_argument("--buckets", type=int, default=256)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero unless the bucketed path beats legacy "
+                            "digest bytes >=2x with identical converged stores")
+    bench.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -31,6 +31,40 @@ def key_hash(key: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+#: 64-bit mask for fingerprint arithmetic.
+_MASK64 = KEYSPACE_SIZE - 1
+
+
+def key_bucket(key: str, buckets: int) -> int:
+    """Stable bucket of a key for summary-based reconciliation.
+
+    Uses the *low* bits of :func:`key_hash` (mod, not truncation) so the
+    bucketing stays decorrelated from sieve arcs, which partition the
+    ring by the high bits: a contiguous responsibility arc spreads
+    uniformly over all reconciliation buckets.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    return key_hash(key) % buckets
+
+
+def fingerprint64(key_position: int, packed_version: int) -> int:
+    """Mix a key's ring position with its packed version into 64 bits.
+
+    Per-bucket reconciliation summaries are the XOR of these over the
+    bucket's items, maintained incrementally: XOR-out the old
+    fingerprint, XOR-in the new one. The finalizer (splitmix64) spreads
+    the low-entropy version bits over the whole word so versions that
+    differ in one bit do not cancel under XOR.
+    """
+    x = (key_position ^ (packed_version * 0x9E3779B97F4A7C15)) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
 def position_of(value: int) -> float:
     """Normalise a ring position to [0, 1) — handy for sieve math."""
     return value / KEYSPACE_SIZE

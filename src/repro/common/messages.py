@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple, Type, TypeVar
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type, TypeVar
 
 from repro.common.errors import UnknownMessageError
 from repro.common.ids import NodeId
@@ -31,6 +31,13 @@ class Message:
     they must be registered with :func:`message_type` to be routable by
     the asyncio runtime.
     """
+
+    #: Optional cost-accounting bucket. When set (e.g. "digest" or
+    #: "items"), the simulated network additionally charges the message
+    #: to ``net.sent.<protocol>.<category>`` / ``net.bytes.<protocol>.
+    #: <category>`` so benchmarks can split a protocol's traffic by kind
+    #: (anti-entropy: control metadata vs payload transfer).
+    wire_category: ClassVar[Optional[str]] = None
 
     @classmethod
     def type_name(cls) -> str:

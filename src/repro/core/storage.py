@@ -540,7 +540,10 @@ def make_storage_stack(config: DataDropletsConfig):
     def factory(node: Node) -> List[Protocol]:
         memtable = node.durable.get("memtable")
         if memtable is None:
-            memtable = Memtable(config.memtable_capacity)
+            memtable = Memtable(
+                config.memtable_capacity,
+                index_attributes=[spec.attribute for spec in config.indexes],
+            )
             node.durable["memtable"] = memtable
 
         protocols: List[Protocol] = []

@@ -30,6 +30,9 @@ from repro.epidemic.bimodal import (
 from repro.epidemic.antientropy import (
     AntiEntropy,
     AntiEntropyStore,
+    BucketDigestMessage,
+    BucketSummaryMessage,
+    BucketedStore,
     DictStore,
     DigestMessage,
     ItemsPush,
@@ -47,6 +50,9 @@ __all__ = [
     "PbcastSolicit",
     "AntiEntropy",
     "AntiEntropyStore",
+    "BucketDigestMessage",
+    "BucketSummaryMessage",
+    "BucketedStore",
     "DictStore",
     "DigestMessage",
     "EagerGossip",

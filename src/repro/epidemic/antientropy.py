@@ -9,13 +9,29 @@ restoration between nodes responsible for the same sieve range (§III-A).
 The protocol is generic over an :class:`AntiEntropyStore` adapter so the
 same code reconciles gossip caches, storage memtables, or anything
 versioned by (item id, monotone version).
+
+Two wire exchanges are supported:
+
+* **legacy full-digest** (any :class:`AntiEntropyStore`): each round
+  ships a complete ``item_id -> version`` digest in both directions —
+  ``O(store)`` bytes per round regardless of how much actually differs.
+* **bucketed three-phase** (stores implementing :class:`BucketedStore`):
+  item ids hash into ``B`` buckets with incrementally maintained rolling
+  summaries. A round sends only the ``B`` summaries; the peer answers
+  with per-key digests *for the differing buckets only*; items flow
+  last. Cost is proportional to *divergence*, not store size — the
+  cheap-incremental-sync property Merkle-style reconcilers rely on.
+
+Initiators probe with a :class:`BucketSummaryMessage`; a peer whose
+store is not bucketed (or whose bucket count differs) falls back to the
+legacy exchange, so mixed deployments still converge.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.ids import NodeId
 from repro.common.messages import Message, message_type
@@ -24,6 +40,12 @@ from repro.sim.node import Protocol
 
 #: (item_id, version, payload)
 VersionedItem = Tuple[str, int, Any]
+
+#: (rolling xor of item fingerprints, item count) for one bucket.
+BucketSummary = Tuple[int, int]
+
+#: Digest value meaning "I do not hold this item at any version".
+ABSENT = -1
 
 
 class AntiEntropyStore(ABC):
@@ -43,24 +65,106 @@ class AntiEntropyStore(ABC):
         """Merge incoming items (last-writer-wins by version); return
         how many actually changed local state."""
 
+    def fetch_newer(self, entries: Iterable[Tuple[str, int]]) -> Tuple[List[VersionedItem], int]:
+        """Fetch only items strictly newer than the requester's version.
+
+        ``entries`` pairs each item id with the version the requester
+        already holds (:data:`ABSENT` for none). Returns the items worth
+        shipping and the count of redundant fetches skipped — requests
+        can race with other reconciliations, and shipping a payload the
+        peer already holds at an equal version is pure waste. The default
+        fetches then filters; stores that copy payloads should override
+        to check the version *before* copying.
+        """
+        entries = list(entries)
+        items = self.fetch(item_id for item_id, _ in entries)
+        known = dict(entries)
+        out = [item for item in items if item[1] > known.get(item[0], ABSENT)]
+        return out, len(items) - len(out)
+
+
+class BucketedStore(AntiEntropyStore):
+    """Capability: per-bucket rolling summaries for incremental sync.
+
+    Implementations hash item ids into a fixed number of buckets (see
+    :func:`repro.common.hashing.key_bucket`) and maintain, per bucket,
+    the XOR of per-item :func:`~repro.common.hashing.fingerprint64`
+    values plus an item count — updated incrementally on every mutation,
+    never rebuilt from scratch on the reconciliation path.
+    """
+
+    @abstractmethod
+    def bucket_count(self) -> int:
+        """Number of summary buckets (fixed for the store's lifetime)."""
+
+    @abstractmethod
+    def bucket_summaries(self) -> Tuple[BucketSummary, ...]:
+        """Current (xor, count) summary of every bucket, in bucket order."""
+
+    @abstractmethod
+    def bucket_digest(self, buckets: Sequence[int]) -> Dict[str, int]:
+        """Per-key digest restricted to the given buckets — complete
+        within those buckets, so absence there is meaningful."""
+
 
 @message_type
 @dataclass(frozen=True)
 class DigestMessage(Message):
     entries: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
     is_reply: bool = False
+    #: Explicit truncation marker. Inferring truncation from
+    #: ``len(entries) < max_digest`` wrongly treats an untruncated digest
+    #: of exactly ``max_digest`` entries as sampled, which suppresses the
+    #: absence-based push path and stalls convergence.
+    truncated: bool = False
+
+    wire_category: ClassVar[str] = "digest"
+
+
+@message_type
+@dataclass(frozen=True)
+class BucketSummaryMessage(Message):
+    """Phase 1 of the bucketed exchange: B rolling bucket summaries."""
+
+    bucket_count: int = 0
+    summaries: Tuple[BucketSummary, ...] = field(default_factory=tuple)
+
+    wire_category: ClassVar[str] = "digest"
+
+
+@message_type
+@dataclass(frozen=True)
+class BucketDigestMessage(Message):
+    """Phase 2: per-key digests for the buckets whose summaries differ.
+
+    ``buckets`` names the buckets the entries cover completely (unless
+    ``truncated``), so the receiver may infer absence — and therefore
+    push — within exactly that scope.
+    """
+
+    buckets: Tuple[int, ...] = field(default_factory=tuple)
+    entries: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+    truncated: bool = False
+
+    wire_category: ClassVar[str] = "digest"
 
 
 @message_type
 @dataclass(frozen=True)
 class ItemsRequest(Message):
-    item_ids: Tuple[str, ...] = field(default_factory=tuple)
+    #: (item_id, version the requester already holds or ABSENT) pairs;
+    #: the responder skips ids it cannot better (see ``fetch_newer``).
+    entries: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+
+    wire_category: ClassVar[str] = "items"
 
 
 @message_type
 @dataclass(frozen=True)
 class ItemsPush(Message):
     items: Tuple[VersionedItem, ...] = field(default_factory=tuple)
+
+    wire_category: ClassVar[str] = "items"
 
 
 class AntiEntropy(Protocol):
@@ -72,6 +176,9 @@ class AntiEntropy(Protocol):
         membership: sibling PeerSampler protocol name.
         max_digest: cap on digest entries shipped per round (bandwidth
             guard for huge stores; a random cover is sent each round).
+        bucketed: force (True) or forbid (False) the bucketed exchange;
+            None (default) auto-enables it when ``store`` implements
+            :class:`BucketedStore`.
     """
 
     name = "anti-entropy"
@@ -82,12 +189,18 @@ class AntiEntropy(Protocol):
         period: float = 5.0,
         membership: str = "membership",
         max_digest: Optional[int] = None,
+        bucketed: Optional[bool] = None,
     ):
         super().__init__()
         self.store = store
         self.period = period
         self.membership = membership
         self.max_digest = max_digest
+        if bucketed is None:
+            bucketed = isinstance(store, BucketedStore)
+        elif bucketed and not isinstance(store, BucketedStore):
+            raise TypeError("bucketed=True requires a BucketedStore adapter")
+        self.bucketed = bucketed
         self._timer = None
 
     # ------------------------------------------------------------------
@@ -97,6 +210,10 @@ class AntiEntropy(Protocol):
         self._c_rounds, self._c_items_applied = metrics.counter_pair(
             "antientropy.rounds", "antientropy.items_applied")
         self._c_unexpected = metrics.counter("antientropy.unexpected_message")
+        self._c_redundant = metrics.counter("antientropy.redundant_fetches")
+        self._c_fallback = metrics.counter("antientropy.fallback_rounds")
+        self._c_buckets_diverged = metrics.counter("antientropy.buckets_diverged")
+        self._c_buckets_clean = metrics.counter("antientropy.rounds_clean")
 
     def on_start(self) -> None:
         self._timer = self.every(self.period, self.run_round)
@@ -119,22 +236,37 @@ class AntiEntropy(Protocol):
         peer = self.select_peer()
         if peer is None:
             return
-        self.send(peer, DigestMessage(self._digest_entries(), is_reply=False))
+        if self.bucketed:
+            store: BucketedStore = self.store  # type: ignore[assignment]
+            self.send(peer, BucketSummaryMessage(store.bucket_count(), store.bucket_summaries()))
+        else:
+            entries, truncated = self._digest_entries()
+            self.send(peer, DigestMessage(entries, is_reply=False, truncated=truncated))
         self._c_rounds.inc()
 
-    def _digest_entries(self) -> Tuple[Tuple[str, int], ...]:
+    def _digest_entries(self) -> Tuple[Tuple[Tuple[str, int], ...], bool]:
         digest = self.store.digest()
         entries = sorted(digest.items())
+        truncated = False
         if self.max_digest is not None and len(entries) > self.max_digest:
-            entries = self.host.rng.sample(entries, self.max_digest)
-        return tuple(entries)
+            # Sample a random cover, then re-sort: deterministic wire
+            # order regardless of which entries the sample picked.
+            entries = sorted(self.host.rng.sample(entries, self.max_digest))
+            truncated = True
+        return tuple(entries), truncated
 
     # ------------------------------------------------------------------
     def on_message(self, sender: NodeId, message: Message) -> None:
         if isinstance(message, DigestMessage):
-            self._reconcile(sender, dict(message.entries), message.is_reply)
+            self._reconcile(sender, dict(message.entries), message.is_reply, message.truncated)
+        elif isinstance(message, BucketSummaryMessage):
+            self._on_bucket_summary(sender, message)
+        elif isinstance(message, BucketDigestMessage):
+            self._on_bucket_digest(sender, message)
         elif isinstance(message, ItemsRequest):
-            items = self.store.fetch(message.item_ids)
+            items, skipped = self.store.fetch_newer(message.entries)
+            if skipped:
+                self._c_redundant.inc(skipped)
             if items:
                 self.send(sender, ItemsPush(tuple(items)))
         elif isinstance(message, ItemsPush):
@@ -143,22 +275,72 @@ class AntiEntropy(Protocol):
         else:
             self._c_unexpected.inc()
 
-    def _reconcile(self, sender: NodeId, remote: Dict[str, int], is_reply: bool) -> None:
+    # -- legacy full-digest exchange -----------------------------------
+    def _reconcile(self, sender: NodeId, remote: Dict[str, int], is_reply: bool,
+                   remote_truncated: bool) -> None:
         local = self.store.digest()
-        missing_here = [i for i, v in remote.items() if local.get(i, -1) < v]
-        # Only treat the remote digest as complete when it was not
-        # truncated; otherwise we cannot infer what the peer lacks from
-        # absence alone, and pushing everything would defeat the cap.
-        if self.max_digest is None or len(remote) < self.max_digest:
-            newer_here = [i for i, v in local.items() if remote.get(i, -1) < v]
+        self._exchange(sender, local, remote, remote_truncated)
+        if not is_reply:
+            entries, truncated = self._digest_entries()
+            self.send(sender, DigestMessage(entries, is_reply=True, truncated=truncated))
+
+    def _exchange(self, sender: NodeId, local: Dict[str, int], remote: Dict[str, int],
+                  remote_truncated: bool) -> None:
+        """Pull-and-push against a remote digest covering ``local``'s scope.
+
+        Absence in an untruncated remote digest means the peer lacks the
+        item, so everything it does not list at a newer-or-equal version
+        is pushed. A truncated digest only supports comparing entries it
+        actually lists."""
+        missing_here = sorted(
+            (i, local.get(i, ABSENT)) for i, v in remote.items() if local.get(i, ABSENT) < v
+        )
+        if remote_truncated:
+            newer_here = sorted(i for i, v in remote.items() if local.get(i, ABSENT) > v)
         else:
-            newer_here = [i for i, v in remote.items() if local.get(i, -1) > v]
+            newer_here = sorted(i for i, v in local.items() if remote.get(i, ABSENT) < v)
         if missing_here:
             self.send(sender, ItemsRequest(tuple(missing_here)))
         if newer_here:
             self.send(sender, ItemsPush(tuple(self.store.fetch(newer_here))))
-        if not is_reply:
-            self.send(sender, DigestMessage(self._digest_entries(), is_reply=True))
+
+    # -- bucketed three-phase exchange ---------------------------------
+    def _on_bucket_summary(self, sender: NodeId, message: BucketSummaryMessage) -> None:
+        if not self.bucketed or message.bucket_count != self.store.bucket_count():  # type: ignore[attr-defined]
+            # Capability mismatch: answer by *initiating* a legacy
+            # exchange toward the summary's sender, which both sides
+            # support by construction.
+            self._c_fallback.inc()
+            entries, truncated = self._digest_entries()
+            self.send(sender, DigestMessage(entries, is_reply=False, truncated=truncated))
+            return
+        store: BucketedStore = self.store  # type: ignore[assignment]
+        local = store.bucket_summaries()
+        differing = tuple(
+            index for index, (mine, theirs) in enumerate(zip(local, message.summaries))
+            if mine != theirs
+        )
+        if not differing:
+            self._c_buckets_clean.inc()
+            return
+        self._c_buckets_diverged.inc(len(differing))
+        entries = sorted(store.bucket_digest(differing).items())
+        truncated = False
+        if self.max_digest is not None and len(entries) > self.max_digest:
+            entries = sorted(self.host.rng.sample(entries, self.max_digest))
+            truncated = True
+        self.send(sender, BucketDigestMessage(differing, tuple(entries), truncated))
+
+    def _on_bucket_digest(self, sender: NodeId, message: BucketDigestMessage) -> None:
+        if not self.bucketed:
+            # A crash/rebind changed capability mid-exchange; the peer's
+            # digest is still a valid (partial) digest — treat it as
+            # truncated so no absence is inferred from its scoping.
+            self._exchange(sender, self.store.digest(), dict(message.entries), True)
+            return
+        store: BucketedStore = self.store  # type: ignore[assignment]
+        local = store.bucket_digest(message.buckets)
+        self._exchange(sender, local, dict(message.entries), message.truncated)
 
 
 class DictStore(AntiEntropyStore):

@@ -9,14 +9,25 @@ restore redundancy as necessary."
 the same-range peers the census discovered — so the exchanged digests
 are small (one range, not the whole store) and every exchange is with a
 node that actually shares responsibility.
+
+:class:`RangeScopedStore` memoises sieve admission per memtable bucket,
+keyed on the memtable's mutation epoch: a repair round over an unchanged
+store re-evaluates ``sieve.admits`` for *no* item, and a round after a
+few writes re-evaluates only the dirtied buckets. A sieve-range change
+(the size estimate moved the bucket grid) invalidates the whole cache.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.ids import NodeId
-from repro.epidemic.antientropy import AntiEntropy, AntiEntropyStore, VersionedItem
+from repro.epidemic.antientropy import (
+    AntiEntropy,
+    BucketedStore,
+    BucketSummary,
+    VersionedItem,
+)
 from repro.sieve.base import Sieve
 from repro.store.memtable import Memtable
 from repro.store.tuples import Version, VersionedTuple
@@ -25,7 +36,7 @@ from repro.store.tuples import Version, VersionedTuple
 PeerSource = Callable[[], List[NodeId]]
 
 
-class RangeScopedStore(AntiEntropyStore):
+class RangeScopedStore(BucketedStore):
     """Memtable view restricted to items the node's sieve admits.
 
     Incoming items the sieve does not admit are ignored rather than
@@ -36,16 +47,88 @@ class RangeScopedStore(AntiEntropyStore):
     def __init__(self, memtable: Memtable, sieve: Sieve):
         self.memtable = memtable
         self.sieve = sieve
+        #: bucket -> {key: packed version} of *admitted* items.
+        self._scoped: Dict[int, Dict[str, int]] = {}
+        #: bucket -> (xor, count) over the scoped entries.
+        self._summaries: Dict[int, BucketSummary] = {}
+        self._cache_epoch = -1
+        self._cache_fingerprint: Optional[Tuple[Hashable, str]] = None
+        # Cache observability (asserted in tests, reported by benches):
+        self.cache_rebuilds = 0  # sieve-range changes → full invalidation
+        self.cache_bucket_refreshes = 0  # dirty buckets re-sieved
+        self.cache_hits = 0  # digest calls served without any re-sieving
 
+    # -- admission cache ------------------------------------------------
+    def _sieve_fingerprint(self) -> Tuple[Hashable, str]:
+        """Identity of the sieve's current admission behaviour.
+
+        ``range_key()`` captures arc/bucket moves for range sieves;
+        ``describe()`` is folded in for sieves without a range key whose
+        parameters still show up in their description."""
+        return (self.sieve.range_key(), self.sieve.describe())
+
+    def _refresh(self) -> None:
+        fingerprint = self._sieve_fingerprint()
+        if fingerprint != self._cache_fingerprint:
+            # The sieve moved (e.g. size estimate doubled the bucket
+            # grid): every cached admission decision is suspect.
+            if self._cache_fingerprint is not None:
+                self.cache_rebuilds += 1
+            self._scoped.clear()
+            self._summaries.clear()
+            self._cache_epoch = -1
+            self._cache_fingerprint = fingerprint
+        memtable = self.memtable
+        epoch = memtable.mutation_epoch
+        if epoch == self._cache_epoch and len(self._scoped) == memtable.bucket_count():
+            self.cache_hits += 1
+            return
+        admits = self.sieve.admits
+        for bucket in range(memtable.bucket_count()):
+            if bucket in self._scoped and memtable.bucket_epoch(bucket) <= self._cache_epoch:
+                continue  # clean bucket: cached admissions still valid
+            entries: Dict[str, int] = {}
+            xor = 0
+            for key in memtable.bucket_keys(bucket):
+                item = memtable.get_any(key)
+                if item is None or not admits(item.key, item.record):
+                    continue
+                entries[key] = item.version.packed()
+                fp = memtable.fingerprint_of(key)
+                if fp is not None:
+                    xor ^= fp
+            self._scoped[bucket] = entries
+            self._summaries[bucket] = (xor, len(entries))
+            self.cache_bucket_refreshes += 1
+        self._cache_epoch = epoch
+
+    # -- BucketedStore interface ----------------------------------------
     def digest(self) -> Dict[str, int]:
-        return {
-            item.key: item.version.packed()
-            for item in self.memtable.all_items()
-            if self.sieve.admits(item.key, item.record)
-        }
+        self._refresh()
+        out: Dict[str, int] = {}
+        for entries in self._scoped.values():
+            out.update(entries)
+        return out
+
+    def bucket_count(self) -> int:
+        return self.memtable.bucket_count()
+
+    def bucket_summaries(self) -> Tuple[BucketSummary, ...]:
+        self._refresh()
+        return tuple(self._summaries[b] for b in range(self.memtable.bucket_count()))
+
+    def bucket_digest(self, buckets: Sequence[int]) -> Dict[str, int]:
+        self._refresh()
+        out: Dict[str, int] = {}
+        for bucket in buckets:
+            out.update(self._scoped.get(bucket, ()))
+        return out
 
     def fetch(self, item_ids: Iterable[str]) -> List[VersionedItem]:
         return self.memtable.fetch(item_ids)
+
+    def fetch_newer(self, entries: Iterable[Tuple[str, int]]) -> Tuple[List[VersionedItem], int]:
+        return self.memtable.fetch_newer(entries)
 
     def apply(self, items: Iterable[VersionedItem]) -> int:
         changed = 0
@@ -81,11 +164,13 @@ class RangeRepair(AntiEntropy):
         peer_source: PeerSource,
         period: float = 10.0,
         max_digest: Optional[int] = None,
+        bucketed: Optional[bool] = None,
     ):
         super().__init__(
             store=RangeScopedStore(memtable, sieve),
             period=period,
             max_digest=max_digest,
+            bucketed=bucketed,
         )
         self.peer_source = peer_source
 

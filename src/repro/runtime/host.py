@@ -116,6 +116,8 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         self._metrics.counter("net.sent.total").inc()
         self._metrics.counter(f"net.sent.{protocol}").inc()
         self._metrics.counter("net.bytes.total").inc(len(payload))
+        if message.wire_category is not None:
+            self._metrics.counter(f"net.bytes.{protocol}.{message.wire_category}").inc(len(payload))
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
         assert self._loop is not None, "node not started"

@@ -109,6 +109,7 @@ class Network:
         self._dropped_loss = m.counter("net.dropped.loss")
         self._dropped_down = m.counter("net.dropped.node_down")
         self._proto_handles: Dict[str, Tuple[Counter, Counter]] = {}
+        self._category_handles: Dict[Tuple[str, str], Tuple[Counter, Counter]] = {}
 
     # ------------------------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -135,6 +136,19 @@ class Network:
             self._proto_handles[protocol] = handles
         return handles
 
+    def category_counters(self, protocol: str, category: str) -> Tuple[Counter, Counter]:
+        """Interned ``(net.sent.<p>.<c>, net.bytes.<p>.<c>)`` handles.
+
+        Categories come from :attr:`Message.wire_category` — they split
+        one protocol's traffic into accounting buckets (anti-entropy:
+        "digest" metadata vs "items" payload bytes)."""
+        handles = self._category_handles.get((protocol, category))
+        if handles is None:
+            handles = self.metrics.counter_pair(
+                f"net.sent.{protocol}.{category}", f"net.bytes.{protocol}.{category}")
+            self._category_handles[(protocol, category)] = handles
+        return handles
+
     def send(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
         """Send one message; may be dropped, delayed and reordered.
 
@@ -150,6 +164,13 @@ class Network:
         handles[1].inc(size)
         self._sent_total.inc()
         self._bytes_total.inc(size)
+        category = message.wire_category
+        if category is not None:
+            cat = self._category_handles.get((protocol, category))
+            if cat is None:
+                cat = self.category_counters(protocol, category)
+            cat[0].inc()
+            cat[1].inc(size)
         if dst not in self._nodes:
             self._dropped_unknown.inc()
             return

@@ -1,6 +1,6 @@
 """Local storage: versioned tuples and the durable memtable."""
 
-from repro.store.memtable import Memtable
+from repro.store.memtable import DEFAULT_BUCKETS, Memtable
 from repro.store.tuples import (
     ZERO_VERSION,
     Version,
@@ -10,6 +10,7 @@ from repro.store.tuples import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "Memtable",
     "Version",
     "VersionedTuple",

@@ -6,20 +6,38 @@ churn model: "nodes suffer from transient faults solved with a reboot"
 — their disk contents come back with them). Permanent failures destroy
 it, which is what redundancy maintenance must then repair.
 
-The memtable implements the :class:`AntiEntropyStore` interface
-directly, so the same object plugs into gossip repair and same-range
-redundancy reconciliation.
+The memtable implements the :class:`BucketedStore` interface directly,
+so the same object plugs into gossip repair and same-range redundancy
+reconciliation — with incremental per-bucket summaries that make
+anti-entropy cost proportional to divergence instead of store size.
+Per-attribute sorted secondary indexes (maintained on put/delete) serve
+``scan`` and ``attribute_values`` without linear passes over the store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.epidemic.antientropy import AntiEntropyStore, VersionedItem
+from repro.common.hashing import fingerprint64, key_bucket, key_hash
+from repro.epidemic.antientropy import BucketedStore, BucketSummary, VersionedItem
 from repro.store.tuples import Version, VersionedTuple
 
+#: Default summary-bucket count. Scoped digests cover ~(diverged keys /
+#: store size) × B buckets, so B trades summary bytes (16·B per round)
+#: against digest scope; 256 keeps a low-divergence round under a kB of
+#: summaries while still isolating small divergences to few buckets.
+DEFAULT_BUCKETS = 256
 
-class Memtable(AntiEntropyStore):
+
+def _numeric(value) -> Optional[float]:
+    """The attribute value as a float, or None when not indexable."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+class Memtable(BucketedStore):
     """Last-writer-wins versioned key-value store.
 
     Args:
@@ -29,14 +47,46 @@ class Memtable(AntiEntropyStore):
             sieve grain, not eviction, is the intended control knob —
             silently dropping accepted data would break the coverage
             argument). Updates to existing keys always apply.
+        buckets: summary-bucket count for incremental anti-entropy
+            (reconciling peers must agree on it or they fall back to
+            full digests).
+        index_attributes: attributes to keep sorted secondary indexes
+            for from the start (more can be added with :meth:`add_index`).
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        buckets: int = DEFAULT_BUCKETS,
+        index_attributes: Iterable[str] = (),
+    ):
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive when set")
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
         self.capacity = capacity
         self._tuples: Dict[str, VersionedTuple] = {}
         self.rejected_puts = 0
+        # -- incremental bucket summaries -------------------------------
+        self._buckets = buckets
+        #: key -> (bucket, fingerprint); remembers what was XORed into
+        #: the bucket summary so removal/replacement never re-hashes the
+        #: outgoing version.
+        self._meta: Dict[str, Tuple[int, int]] = {}
+        self._bucket_xor: List[int] = [0] * buckets
+        self._bucket_count_items: List[int] = [0] * buckets
+        self._bucket_keys: List[Set[str]] = [set() for _ in range(buckets)]
+        #: Monotone store-wide mutation counter; consumers key caches on
+        #: it (RangeScopedStore's admission cache).
+        self.mutation_epoch = 0
+        #: Per-bucket epoch of the last mutation touching the bucket —
+        #: dirty-bucket invalidation for scoped-digest caches.
+        self._bucket_epochs: List[int] = [0] * buckets
+        # -- sorted secondary indexes -----------------------------------
+        #: attribute -> sorted list of (value, key) over *live* tuples.
+        self._indexes: Dict[str, List[Tuple[float, str]]] = {}
+        for attribute in index_attributes:
+            self.add_index(attribute)
 
     # ------------------------------------------------------------------
     def put(self, item: VersionedTuple) -> bool:
@@ -50,6 +100,7 @@ class Memtable(AntiEntropyStore):
             self.rejected_puts += 1
             return False
         self._tuples[item.key] = item
+        self._note_mutation(item.key, current, item)
         return True
 
     def get(self, key: str) -> Optional[VersionedTuple]:
@@ -65,7 +116,9 @@ class Memtable(AntiEntropyStore):
 
     def delete(self, key: str) -> None:
         """Drop a key outright (repair bookkeeping; clients use tombstones)."""
-        self._tuples.pop(key, None)
+        item = self._tuples.pop(key, None)
+        if item is not None:
+            self._note_mutation(key, item, None)
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -75,6 +128,68 @@ class Memtable(AntiEntropyStore):
 
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._tuples) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # mutation bookkeeping: bucket summaries, epochs and indexes
+    # ------------------------------------------------------------------
+    def _note_mutation(self, key: str, old: Optional[VersionedTuple],
+                       new: Optional[VersionedTuple]) -> None:
+        meta = self._meta.get(key)
+        if meta is not None:
+            bucket, fingerprint = meta
+            position = None
+        else:
+            position = key_hash(key)
+            bucket = position % self._buckets
+            fingerprint = 0  # nothing XORed in yet
+        xor = self._bucket_xor[bucket] ^ fingerprint
+        if new is not None:
+            if position is None:
+                position = key_hash(key)
+            incoming = fingerprint64(position, new.version.packed())
+            self._bucket_xor[bucket] = xor ^ incoming
+            self._meta[key] = (bucket, incoming)
+            if old is None:
+                self._bucket_count_items[bucket] += 1
+                self._bucket_keys[bucket].add(key)
+        else:
+            self._bucket_xor[bucket] = xor
+            self._meta.pop(key, None)
+            self._bucket_count_items[bucket] -= 1
+            self._bucket_keys[bucket].discard(key)
+        self.mutation_epoch += 1
+        self._bucket_epochs[bucket] = self.mutation_epoch
+        if self._indexes:
+            self._update_indexes(key, old, new)
+
+    def _update_indexes(self, key: str, old: Optional[VersionedTuple],
+                        new: Optional[VersionedTuple]) -> None:
+        for attribute, index in self._indexes.items():
+            old_value = None if old is None or old.tombstone else _numeric(old.record.get(attribute))
+            new_value = None if new is None or new.tombstone else _numeric(new.record.get(attribute))
+            if old_value == new_value:
+                continue  # (value, key) entry is unchanged by this write
+            if old_value is not None:
+                slot = bisect_left(index, (old_value, key))
+                if slot < len(index) and index[slot] == (old_value, key):
+                    del index[slot]
+            if new_value is not None:
+                insort(index, (new_value, key))
+
+    def add_index(self, attribute: str) -> None:
+        """Build (or rebuild) a sorted secondary index for ``attribute``.
+
+        Maintained incrementally afterwards; idempotent."""
+        index: List[Tuple[float, str]] = []
+        for item in self.items():
+            value = _numeric(item.record.get(attribute))
+            if value is not None:
+                index.append((value, item.key))
+        index.sort()
+        self._indexes[attribute] = index
+
+    def indexed_attributes(self) -> List[str]:
+        return sorted(self._indexes)
 
     # ------------------------------------------------------------------
     def items(self) -> Iterator[VersionedTuple]:
@@ -89,10 +204,14 @@ class Memtable(AntiEntropyStore):
 
     def attribute_values(self, attribute: str) -> Iterator[Tuple[str, float]]:
         """(key, numeric value) pairs — the HistogramEstimator's source."""
-        for item in self.items():
-            value = item.record.get(attribute)
-            if isinstance(value, (int, float)) and not isinstance(value, bool):
-                yield item.key, float(value)
+        index = self._indexes.get(attribute)
+        if index is not None:
+            return ((key, value) for value, key in index)
+        return (
+            (item.key, value)
+            for item in self.items()
+            if (value := _numeric(item.record.get(attribute))) is not None
+        )
 
     def scan(
         self,
@@ -101,18 +220,71 @@ class Memtable(AntiEntropyStore):
         high: float,
     ) -> List[VersionedTuple]:
         """Live tuples with ``low <= record[attribute] <= high``."""
+        index = self._indexes.get(attribute)
+        if index is not None:
+            start = bisect_left(index, (low,))
+            matches = []
+            for value, key in index[start:]:
+                if value > high:
+                    break
+                matches.append(self._tuples[key])
+            return matches
         matches = []
         for item in self.items():
-            value = item.record.get(attribute)
-            if isinstance(value, (int, float)) and not isinstance(value, bool) and low <= value <= high:
+            value = _numeric(item.record.get(attribute))
+            if value is not None and low <= value <= high:
                 matches.append(item)
         return matches
 
     # ------------------------------------------------------------------
-    # AntiEntropyStore interface (digests use packed integer versions)
+    # BucketedStore interface (digests use packed integer versions)
     # ------------------------------------------------------------------
     def digest(self) -> Dict[str, int]:
         return {key: item.version.packed() for key, item in self._tuples.items()}
+
+    def bucket_count(self) -> int:
+        return self._buckets
+
+    def bucket_of(self, key: str) -> int:
+        meta = self._meta.get(key)
+        if meta is not None:
+            return meta[0]
+        return key_bucket(key, self._buckets)
+
+    def fingerprint_of(self, key: str) -> Optional[int]:
+        """The fingerprint currently folded into ``key``'s bucket summary."""
+        meta = self._meta.get(key)
+        return None if meta is None else meta[1]
+
+    def bucket_summaries(self) -> Tuple[BucketSummary, ...]:
+        return tuple(zip(self._bucket_xor, self._bucket_count_items))
+
+    def recompute_bucket_summaries(self) -> Tuple[BucketSummary, ...]:
+        """From-scratch summaries — the regression oracle the rolling
+        summaries must always equal (asserted in tests)."""
+        xors = [0] * self._buckets
+        counts = [0] * self._buckets
+        for key, item in self._tuples.items():
+            position = key_hash(key)
+            bucket = position % self._buckets
+            xors[bucket] ^= fingerprint64(position, item.version.packed())
+            counts[bucket] += 1
+        return tuple(zip(xors, counts))
+
+    def bucket_epoch(self, bucket: int) -> int:
+        """Mutation epoch of the last change touching ``bucket``."""
+        return self._bucket_epochs[bucket]
+
+    def bucket_keys(self, bucket: int) -> Set[str]:
+        """Keys (live and tombstoned) currently hashed into ``bucket``."""
+        return self._bucket_keys[bucket]
+
+    def bucket_digest(self, buckets: Sequence[int]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for bucket in buckets:
+            for key in self._bucket_keys[bucket]:
+                out[key] = self._tuples[key].version.packed()
+        return out
 
     def fetch(self, item_ids: Iterable[str]) -> List[VersionedItem]:
         out: List[VersionedItem] = []
@@ -121,6 +293,21 @@ class Memtable(AntiEntropyStore):
             if item is not None:
                 out.append((key, item.version.packed(), (dict(item.record), item.tombstone)))
         return out
+
+    def fetch_newer(self, entries: Iterable[Tuple[str, int]]) -> Tuple[List[VersionedItem], int]:
+        """Version check *before* the payload copy (see base class)."""
+        out: List[VersionedItem] = []
+        skipped = 0
+        for key, known in entries:
+            item = self._tuples.get(key)
+            if item is None:
+                continue
+            packed = item.version.packed()
+            if packed <= known:
+                skipped += 1
+                continue
+            out.append((key, packed, (dict(item.record), item.tombstone)))
+        return out, skipped
 
     def apply(self, items: Iterable[VersionedItem]) -> int:
         changed = 0

@@ -1,0 +1,133 @@
+"""Sorted secondary indexes on the memtable: scan/attribute_values."""
+
+import random
+
+from repro.store import Memtable, Version, make_tombstone, make_tuple
+
+
+def _fill(table, n=50, attribute="score"):
+    for i in range(n):
+        table.put(make_tuple(f"k{i}", {attribute: float((i * 37) % 100)}, Version(1, 0)))
+
+
+def _scan_keys(table, attribute, low, high):
+    return {item.key for item in table.scan(attribute, low, high)}
+
+
+class TestIndexedScan:
+    def test_indexed_scan_matches_linear_fallback(self):
+        indexed = Memtable(index_attributes=("score",))
+        linear = Memtable()
+        _fill(indexed)
+        _fill(linear)
+        for low, high in ((0, 100), (20, 60), (55, 55), (90, 10), (-5, 3)):
+            assert _scan_keys(indexed, "score", low, high) == _scan_keys(linear, "score", low, high)
+
+    def test_indexed_scan_returns_sorted_by_value(self):
+        table = Memtable(index_attributes=("score",))
+        _fill(table)
+        values = [item.record["score"] for item in table.scan("score", 0, 100)]
+        assert values == sorted(values)
+
+    def test_scan_bounds_are_inclusive(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("a", {"score": 10.0}, Version(1, 0)))
+        table.put(make_tuple("b", {"score": 20.0}, Version(1, 0)))
+        assert _scan_keys(table, "score", 10, 20) == {"a", "b"}
+        assert _scan_keys(table, "score", 10.1, 19.9) == set()
+
+    def test_attribute_values_matches_linear_fallback(self):
+        indexed = Memtable(index_attributes=("score",))
+        linear = Memtable()
+        _fill(indexed)
+        _fill(linear)
+        assert sorted(indexed.attribute_values("score")) == sorted(linear.attribute_values("score"))
+
+    def test_unindexed_attribute_still_scans(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("a", {"score": 1.0, "age": 30}, Version(1, 0)))
+        assert table.indexed_attributes() == ["score"]
+        assert _scan_keys(table, "age", 0, 100) == {"a"}
+
+
+class TestIndexMaintenance:
+    def test_update_moves_entry(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("k", {"score": 10.0}, Version(1, 0)))
+        table.put(make_tuple("k", {"score": 90.0}, Version(2, 0)))
+        assert _scan_keys(table, "score", 0, 50) == set()
+        assert _scan_keys(table, "score", 50, 100) == {"k"}
+        assert len(table._indexes["score"]) == 1  # no stale residue
+
+    def test_stale_put_does_not_move_entry(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("k", {"score": 10.0}, Version(2, 0)))
+        table.put(make_tuple("k", {"score": 90.0}, Version(1, 0)))
+        assert _scan_keys(table, "score", 0, 50) == {"k"}
+
+    def test_tombstone_removes_entry(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("k", {"score": 10.0}, Version(1, 0)))
+        table.put(make_tombstone("k", Version(2, 0)))
+        assert _scan_keys(table, "score", 0, 100) == set()
+        assert list(table.attribute_values("score")) == []
+
+    def test_delete_removes_entry(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("k", {"score": 10.0}, Version(1, 0)))
+        table.delete("k")
+        assert _scan_keys(table, "score", 0, 100) == set()
+
+    def test_attribute_removed_on_update_without_it(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("k", {"score": 10.0}, Version(1, 0)))
+        table.put(make_tuple("k", {"other": 1}, Version(2, 0)))
+        assert _scan_keys(table, "score", 0, 100) == set()
+
+    def test_non_numeric_and_bool_values_excluded(self):
+        table = Memtable(index_attributes=("score",))
+        table.put(make_tuple("s", {"score": "high"}, Version(1, 0)))
+        table.put(make_tuple("b", {"score": True}, Version(1, 0)))
+        table.put(make_tuple("n", {"score": 5}, Version(1, 0)))
+        assert _scan_keys(table, "score", 0, 100) == {"n"}
+        assert list(table.attribute_values("score")) == [("n", 5.0)]
+
+    def test_add_index_after_population(self):
+        table = Memtable()
+        _fill(table)
+        table.put(make_tombstone("k3", Version(2, 0)))
+        table.add_index("score")
+        linear = Memtable()
+        _fill(linear)
+        linear.put(make_tombstone("k3", Version(2, 0)))
+        assert _scan_keys(table, "score", 0, 100) == _scan_keys(linear, "score", 0, 100)
+        assert not any(key == "k3" for _, key in table._indexes["score"])
+
+    def test_index_consistent_under_random_mutations(self):
+        indexed = Memtable(index_attributes=("score",))
+        rng = random.Random(11)
+        seq = {}
+        for step in range(600):
+            key = f"k{rng.randrange(30)}"
+            seq[key] = seq.get(key, 0) + 1
+            version = Version(seq[key], 0)
+            roll = rng.random()
+            if roll < 0.6:
+                indexed.put(make_tuple(key, {"score": float(rng.randrange(100))}, version))
+            elif roll < 0.8:
+                indexed.put(make_tombstone(key, version))
+            else:
+                indexed.delete(key)
+        expected = sorted(
+            (float(item.record["score"]), item.key) for item in indexed.items()
+            if "score" in item.record
+        )
+        assert indexed._indexes["score"] == expected
+
+    def test_duplicate_values_coexist(self):
+        table = Memtable(index_attributes=("score",))
+        for key in ("a", "b", "c"):
+            table.put(make_tuple(key, {"score": 42.0}, Version(1, 0)))
+        assert _scan_keys(table, "score", 42, 42) == {"a", "b", "c"}
+        table.put(make_tombstone("b", Version(2, 0)))
+        assert _scan_keys(table, "score", 42, 42) == {"a", "c"}
