@@ -174,17 +174,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "e16":
+        return _bench_e16(args)
     if args.experiment != "e15":
-        print(f"unknown bench {args.experiment!r}; available: e15", file=sys.stderr)
+        print(f"unknown bench {args.experiment!r}; available: e15, e16", file=sys.stderr)
         return 2
     from repro.epidemic.costbench import measure_antientropy_cost
 
-    print(f"e15: anti-entropy cost, {args.items} items, "
+    items = args.items if args.items is not None else 2000
+    print(f"e15: anti-entropy cost, {items} items, "
           f"{args.divergence:.2%} divergence, B={args.buckets}")
     results = []
     for bucketed in (False, True):
         cell = measure_antientropy_cost(
-            args.items, args.divergence, bucketed=bucketed,
+            items, args.divergence, bucketed=bucketed,
             buckets=args.buckets, seed=args.seed,
         )
         results.append(cell)
@@ -206,6 +209,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print("check:", "ok" if ok else "FAILED "
               "(need >=2x digest reduction and identical converged stores)")
+        return 0 if ok else 1
+    return 0
+
+
+def _bench_e16(args: argparse.Namespace) -> int:
+    from repro.runtime.wirebench import codec_throughput, measure_wire_cost
+
+    items = args.items if args.items is not None else 60
+    print(f"e16: wire cost, {items} messages x fanout {args.fanout} "
+          f"over {args.nodes} UDP nodes")
+    base_port = 32300
+    cells = []
+    for codec, coalesce in (("json", False), ("binary", True)):
+        cell = measure_wire_cost(
+            codec=codec, coalesce=coalesce, n_nodes=args.nodes,
+            n_items=items, fanout=args.fanout,
+            base_port=base_port, seed=args.seed,
+        )
+        base_port += args.nodes + 10
+        cells.append(cell)
+        mode = "coalesced" if coalesce else "1 msg/datagram"
+        print(f"  {codec:<7} {mode:<15} {cell['bytes_per_message']:>7.1f} B/msg  "
+              f"{cell['datagrams']:>6,.0f} datagrams  "
+              f"{cell['coalesced_messages']:>5,.0f} coalesced  "
+              f"wall {cell['wall_s']:.3f}s")
+    for codec in ("json", "binary"):
+        tput = codec_throughput(codec)
+        print(f"  {codec:<7} encode {tput['encode_msgs_per_s']:>10,.0f} msg/s  "
+              f"decode {tput['decode_msgs_per_s']:>10,.0f} msg/s  "
+              f"{tput['bytes_per_frame']:>7.1f} B/frame")
+    baseline, optimised = cells
+    byte_ratio = (baseline["bytes_per_message"] / optimised["bytes_per_message"]
+                  if optimised["bytes_per_message"] else float("inf"))
+    datagram_ratio = (baseline["datagrams"] / optimised["datagrams"]
+                      if optimised["datagrams"] else float("inf"))
+    identical = baseline["delivered"] == optimised["delivered"]
+    print(f"payload reduction: {byte_ratio:.1f}x  datagram reduction: "
+          f"{datagram_ratio:.1f}x  identical delivery: {identical}")
+    if args.check:
+        ok = byte_ratio >= 2.0 and datagram_ratio >= 2.0 and identical
+        print("check:", "ok" if ok else "FAILED "
+              "(need >=2x payload and datagram reduction with identical "
+              "delivered multiset)")
         return 0 if ok else 1
     return 0
 
@@ -255,15 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(fn=_cmd_sweep)
 
     bench = sub.add_parser(
-        "bench", help="quick experiment cells (e15: anti-entropy reconciliation cost)")
-    bench.add_argument("experiment", help="experiment id (e15)")
-    bench.add_argument("-n", "--items", type=int, default=2000)
+        "bench", help="quick experiment cells (e15: anti-entropy reconciliation "
+                      "cost; e16: runtime wire cost)")
+    bench.add_argument("experiment", help="experiment id (e15, e16)")
+    bench.add_argument("-n", "--items", type=int, default=None,
+                       help="store items (e15, default 2000) or messages "
+                            "per round (e16, default 60)")
     bench.add_argument("--divergence", type=float, default=0.01)
     bench.add_argument("--buckets", type=int, default=256)
+    bench.add_argument("--fanout", type=int, default=8, help="gossip fanout (e16)")
+    bench.add_argument("--nodes", type=int, default=12, help="UDP nodes (e16)")
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--check", action="store_true",
-                       help="exit non-zero unless the bucketed path beats legacy "
-                            "digest bytes >=2x with identical converged stores")
+                       help="exit non-zero unless the optimised path beats the "
+                            "baseline >=2x with identical protocol behaviour")
     bench.set_defaults(fn=_cmd_bench)
 
     return parser

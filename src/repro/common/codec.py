@@ -1,31 +1,82 @@
-"""Wire codec for the asyncio runtime.
+"""Wire codecs for the asyncio runtime.
 
-Encodes registered :class:`~repro.common.messages.Message` dataclasses as
-JSON. Supports nested dataclasses, :class:`NodeId`, tuples and sets
-(encoded with small type tags so they round-trip exactly). The simulator
-never serializes — it passes message objects by reference — so the codec
-is only on the real-network path and in codec round-trip tests.
+Two interoperable formats encode registered
+:class:`~repro.common.messages.Message` dataclasses:
+
+* :class:`Codec` — the original tagged-JSON format. A frame is a plain
+  JSON object, so its first byte is ``0x7b`` (``{``).
+* :class:`BinaryCodec` — a compact binary format: a one-byte format
+  version (:data:`FORMAT_BINARY`), varint-length-prefixed envelopes,
+  positional per-class field tables derived from ``dataclasses.fields``
+  and one-byte type tags for every supported value kind. No field names
+  or JSON structural overhead go on the wire, which is where the 3-6x
+  size reduction over JSON comes from.
+
+Because the two formats disagree on the first byte, a receiver can
+auto-detect the format per datagram (:func:`decode_datagram`) — clusters
+mixing JSON and binary nodes interoperate in both directions. Both
+codecs support nested dataclasses, :class:`NodeId`, tuples and sets
+(round-tripping exactly) and both reject non-finite floats (NaN/inf),
+which standard JSON cannot represent and a strict peer cannot parse.
+
+The simulator never serializes — it passes message objects by reference
+— so the codecs sit only on the real-network path, in codec tests, and
+in the optional ``byte_model="encoded"`` accounting of the simulated
+network (:func:`encoded_wire_size`).
+
+Datagram layout (see also docs/API.md "Wire format & batching"):
+
+    JSON frame      ::=  <json envelope> *( "\\n" <json envelope> )
+    binary frame    ::=  0x01 *( uvarint(len) <binary envelope> )
+    fragment frame  ::=  0x02 uvarint(frag_id) uvarint(index)
+                         uvarint(total) <chunk>
+
+A fragment's reassembled payload is itself a complete JSON or binary
+frame, so fragmentation is format-agnostic.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict
+import math
+import struct
+from typing import Any, Dict, List, Tuple, Type, Union
 
 from repro.common.errors import DataDropletsError
 from repro.common.ids import NodeId
 from repro.common.messages import Message, lookup_message_type, lookup_wire_type
 
-_TAG = "__t"  # type tag key used in encoded objects
+_TAG = "__t"  # type tag key used in JSON-encoded objects
+
+#: First byte of each wire format. JSON frames start with ``{`` and need
+#: no explicit header; binary and fragment frames claim low control
+#: bytes no JSON document can start with.
+FORMAT_BINARY = 0x01
+FORMAT_FRAGMENT = 0x02
+FORMAT_JSON = 0x7B  # ord("{")
 
 
 class CodecError(DataDropletsError):
     """A message could not be encoded or decoded."""
 
 
+@dataclasses.dataclass(frozen=True)
+class DecodedEnvelope:
+    sender: NodeId
+    protocol: str
+    message: Message
+
+
+# ---------------------------------------------------------------------------
+# JSON codec (format 0x7b — legacy, still the default)
+# ---------------------------------------------------------------------------
+
+
 class Codec:
     """Bidirectional JSON codec over the message registry."""
+
+    wire_name = "json"
 
     def encode(self, sender: NodeId, protocol: str, message: Message) -> bytes:
         """Serialize an envelope (sender, protocol, message) to bytes."""
@@ -36,11 +87,17 @@ class Codec:
                 "type": message.type_name(),
                 "body": _encode_value(message),
             }
-            return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+            # allow_nan=False: json.dumps would otherwise emit NaN/Infinity
+            # literals that are not standard JSON and break strict peers.
+            return json.dumps(envelope, separators=(",", ":"), allow_nan=False).encode("utf-8")
         except (TypeError, ValueError) as exc:
             raise CodecError(f"cannot encode {message!r}: {exc}") from exc
 
-    def decode(self, payload: bytes) -> "DecodedEnvelope":
+    #: One envelope == one frame in the JSON format, so the envelope
+    #: encoding doubles as the single-frame encoding.
+    encode_envelope = encode
+
+    def decode(self, payload: bytes) -> DecodedEnvelope:
         """Parse bytes back into (sender, protocol, message)."""
         try:
             envelope = json.loads(payload.decode("utf-8"))
@@ -53,12 +110,14 @@ class Codec:
         except Exception as exc:  # malformed input from the network
             raise CodecError(f"cannot decode payload: {exc}") from exc
 
+    @staticmethod
+    def frame(envelopes: List[bytes]) -> bytes:
+        """Pack already-encoded envelopes into one datagram.
 
-@dataclasses.dataclass(frozen=True)
-class DecodedEnvelope:
-    sender: NodeId
-    protocol: str
-    message: Message
+        Compact JSON contains no raw newline bytes (strings escape them),
+        so newline-joining is unambiguous.
+        """
+        return b"\n".join(envelopes)
 
 
 def _encode_value(value: Any) -> Any:
@@ -75,6 +134,8 @@ def _encode_value(value: Any) -> Any:
         return {_TAG: "map", "v": [[_encode_value(k), _encode_value(v)] for k, v in value.items()]}
     if isinstance(value, list):
         return [_encode_value(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        raise CodecError(f"non-finite float {value!r} is not wire-encodable")
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     raise CodecError(f"unsupported value type: {type(value).__name__}")
@@ -104,3 +165,454 @@ def _decode_dataclass(cls: type, encoded: Dict[str, Any]) -> Any:
     fields = encoded["f"]
     kwargs = {name: _decode_value(v) for name, v in fields.items()}
     return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# varints
+# ---------------------------------------------------------------------------
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise CodecError("uvarint cannot encode negative values")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Read an unsigned varint at ``pos``; returns (value, next position)."""
+    result = 0
+    shift = 0
+    end = len(data)
+    while True:
+        if pos >= end:
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        # Python ints are unbounded, so allow large varints; the cap only
+        # stops a malicious endless-continuation-bit stream.
+        if shift > 640:
+            raise CodecError("varint too long")
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63) if -(2**63) <= n < 2**63 else _zigzag_big(n)
+
+
+def _zigzag_big(n: int) -> int:
+    # Python ints are unbounded; the shift trick only works for 64-bit
+    # values, so fall back to the arithmetic definition.
+    return n * 2 if n >= 0 else -n * 2 - 1
+
+
+def _unzigzag(n: int) -> int:
+    return (n >> 1) ^ -(n & 1)
+
+
+# ---------------------------------------------------------------------------
+# binary codec (format 0x01)
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_SET = 0x09
+_T_MAP = 0x0A
+_T_NODEID = 0x0B
+_T_DATACLASS = 0x0C
+
+_FLOAT_STRUCT = struct.Struct(">d")
+
+#: Per-class positional field table (field names in declaration order),
+#: shared by encode and decode so both sides agree without shipping
+#: names on the wire.
+_FIELD_TABLES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_table(cls: type) -> Tuple[str, ...]:
+    table = _FIELD_TABLES.get(cls)
+    if table is None:
+        table = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_TABLES[cls] = table
+    return table
+
+
+def _write_str(text: str, out: bytearray) -> None:
+    raw = text.encode("utf-8")
+    encode_uvarint(len(raw), out)
+    out += raw
+
+
+def _read_str(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = read_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise CodecError("truncated string")
+    return data[pos:end].decode("utf-8"), end
+
+
+def _binary_encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is NodeId:
+        out.append(_T_NODEID)
+        encode_uvarint(_zigzag(value.value), out)
+        if value.label is None:
+            out.append(0)
+        else:
+            out.append(1)
+            _write_str(value.label, out)
+    elif isinstance(value, bool):  # bool subclasses int: must precede int
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        encode_uvarint(_zigzag(value), out)
+    elif isinstance(value, float):
+        if not math.isfinite(value):
+            raise CodecError(f"non-finite float {value!r} is not wire-encodable")
+        out.append(_T_FLOAT)
+        out += _FLOAT_STRUCT.pack(value)
+    elif isinstance(value, str):
+        out.append(_T_STR)
+        _write_str(value, out)
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        encode_uvarint(len(value), out)
+        out += value
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        encode_uvarint(len(value), out)
+        for item in value:
+            _binary_encode(item, out)
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        encode_uvarint(len(value), out)
+        for item in value:
+            _binary_encode(item, out)
+    elif isinstance(value, (set, frozenset)):
+        out.append(_T_SET)
+        encode_uvarint(len(value), out)
+        # Deterministic wire order, matching the JSON codec's choice.
+        for item in sorted(value, key=repr):
+            _binary_encode(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_MAP)
+        encode_uvarint(len(value), out)
+        for key, val in value.items():
+            _binary_encode(key, out)
+            _binary_encode(val, out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Covers Message subclasses, NodeId subclasses and wire structs:
+        # class name + positional field values, no field names.
+        out.append(_T_DATACLASS)
+        cls = type(value)
+        _write_str(cls.__name__, out)
+        table = _field_table(cls)
+        encode_uvarint(len(table), out)
+        for name in table:
+            _binary_encode(getattr(value, name), out)
+    else:
+        raise CodecError(f"unsupported value type: {type(value).__name__}")
+
+
+def _binary_decode(data: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(data):
+        raise CodecError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        raw, pos = read_uvarint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _T_FLOAT:
+        end = pos + 8
+        if end > len(data):
+            raise CodecError("truncated float")
+        return _FLOAT_STRUCT.unpack_from(data, pos)[0], end
+    if tag == _T_STR:
+        return _read_str(data, pos)
+    if tag == _T_BYTES:
+        length, pos = read_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise CodecError("truncated bytes")
+        return data[pos:end], end
+    if tag == _T_LIST or tag == _T_TUPLE:
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _binary_decode(data, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_SET:
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _binary_decode(data, pos)
+            items.append(item)
+        return frozenset(items), pos
+    if tag == _T_MAP:
+        count, pos = read_uvarint(data, pos)
+        mapping = {}
+        for _ in range(count):
+            key, pos = _binary_decode(data, pos)
+            val, pos = _binary_decode(data, pos)
+            mapping[key] = val
+        return mapping, pos
+    if tag == _T_NODEID:
+        raw, pos = read_uvarint(data, pos)
+        if pos >= len(data):
+            raise CodecError("truncated NodeId")
+        has_label = data[pos]
+        pos += 1
+        label = None
+        if has_label == 1:
+            label, pos = _read_str(data, pos)
+        elif has_label != 0:
+            raise CodecError(f"bad NodeId label marker 0x{has_label:02x}")
+        return NodeId(_unzigzag(raw), label), pos
+    if tag == _T_DATACLASS:
+        name, pos = _read_str(data, pos)
+        cls = lookup_wire_type(name)
+        table = _field_table(cls)
+        count, pos = read_uvarint(data, pos)
+        if count != len(table):
+            raise CodecError(
+                f"{name}: wire carries {count} fields, local class has {len(table)}")
+        values = []
+        for _ in range(count):
+            value, pos = _binary_decode(data, pos)
+            values.append(value)
+        try:
+            return cls(*values), pos
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot construct {name}: {exc}") from exc
+    raise CodecError(f"unknown binary value tag 0x{tag:02x}")
+
+
+class BinaryCodec:
+    """Compact length-prefixed binary codec over the message registry.
+
+    Envelope layout: ``<sender NodeId> <protocol str> <message>`` using
+    the tagged value encoding above. :meth:`encode` wraps one envelope
+    into a standalone frame (version byte + varint length + envelope),
+    so it is a drop-in replacement for :meth:`Codec.encode`.
+    """
+
+    wire_name = "binary"
+
+    def encode_envelope(self, sender: NodeId, protocol: str, message: Message) -> bytes:
+        if not isinstance(message, Message):
+            raise CodecError(f"not a Message: {message!r}")
+        out = bytearray()
+        try:
+            _binary_encode(sender, out)
+            _write_str(protocol, out)
+            _binary_encode(message, out)
+        except CodecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot encode {message!r}: {exc}") from exc
+        return bytes(out)
+
+    def encode(self, sender: NodeId, protocol: str, message: Message) -> bytes:
+        return self.frame([self.encode_envelope(sender, protocol, message)])
+
+    def decode(self, payload: bytes) -> DecodedEnvelope:
+        """Decode a standalone single-envelope binary frame."""
+        envelopes = decode_datagram(payload)
+        if len(envelopes) != 1:
+            raise CodecError(f"expected one envelope, frame carries {len(envelopes)}")
+        return envelopes[0]
+
+    @staticmethod
+    def frame(envelopes: List[bytes]) -> bytes:
+        """Pack already-encoded envelopes into one datagram."""
+        out = bytearray((FORMAT_BINARY,))
+        for envelope in envelopes:
+            encode_uvarint(len(envelope), out)
+            out += envelope
+        return bytes(out)
+
+
+def decode_binary_envelope(envelope: bytes) -> DecodedEnvelope:
+    try:
+        sender, pos = _binary_decode(envelope, 0)
+        if not isinstance(sender, NodeId):
+            raise CodecError(f"envelope sender is {type(sender).__name__}, not NodeId")
+        protocol, pos = _read_str(envelope, pos)
+        message, pos = _binary_decode(envelope, pos)
+        if not isinstance(message, Message):
+            raise CodecError(f"envelope body is {type(message).__name__}, not a Message")
+        if pos != len(envelope):
+            raise CodecError(f"{len(envelope) - pos} trailing bytes after envelope")
+        return DecodedEnvelope(sender, protocol, message)
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"cannot decode binary envelope: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# datagram-level framing: auto-detection and multi-envelope packing
+# ---------------------------------------------------------------------------
+
+_JSON_CODEC = Codec()
+
+#: Codec registry for runtime configuration.
+_CODECS: Dict[str, type] = {"json": Codec, "binary": BinaryCodec}
+
+CodecLike = Union[Codec, BinaryCodec]
+
+
+def make_codec(codec: Union[str, CodecLike]) -> CodecLike:
+    """Resolve a codec name ("json" | "binary") or pass through an instance."""
+    if isinstance(codec, str):
+        try:
+            return _CODECS[codec]()
+        except KeyError:
+            raise ValueError(f"unknown codec {codec!r}; available: {sorted(_CODECS)}") from None
+    return codec
+
+
+def decode_datagram_detailed(data: bytes) -> List[Tuple[DecodedEnvelope, int]]:
+    """Decode a (possibly coalesced) datagram of either format.
+
+    Returns ``(envelope, envelope_bytes)`` pairs so receive-side byte
+    accounting matches the per-envelope send-side accounting exactly.
+    The format is detected from the first byte — a node decodes frames
+    from peers running either codec.
+    """
+    if not data:
+        raise CodecError("empty datagram")
+    lead = data[0]
+    if lead == FORMAT_BINARY:
+        results: List[Tuple[DecodedEnvelope, int]] = []
+        pos = 1
+        while pos < len(data):
+            length, pos = read_uvarint(data, pos)
+            end = pos + length
+            if end > len(data):
+                raise CodecError("truncated envelope in binary frame")
+            results.append((decode_binary_envelope(data[pos:end]), length))
+            pos = end
+        if not results:
+            raise CodecError("binary frame carries no envelopes")
+        return results
+    if lead == FORMAT_JSON:
+        return [
+            (_JSON_CODEC.decode(part), len(part))
+            for part in data.split(b"\n")
+            if part
+        ]
+    if lead == FORMAT_FRAGMENT:
+        raise CodecError("fragment frame requires reassembly before decoding")
+    raise CodecError(f"unknown wire format byte 0x{lead:02x}")
+
+
+def decode_datagram(data: bytes) -> List[DecodedEnvelope]:
+    """Like :func:`decode_datagram_detailed`, without the byte counts."""
+    return [envelope for envelope, _ in decode_datagram_detailed(data)]
+
+
+# ---------------------------------------------------------------------------
+# fragmentation (format 0x02) — oversized single messages
+# ---------------------------------------------------------------------------
+
+#: Fragment header budget: format byte + three worst-case varints.
+_FRAGMENT_HEADER_MAX = 1 + 5 + 5 + 5
+
+
+def fragment_payload(payload: bytes, frag_id: int, max_datagram: int) -> List[bytes]:
+    """Split one complete frame into fragment datagrams.
+
+    Each fragment carries (frag_id, index, total) so the receiver can
+    reassemble out-of-order arrivals; the reassembled payload is fed back
+    through normal frame decoding, so fragments work for both formats.
+    """
+    chunk_size = max_datagram - _FRAGMENT_HEADER_MAX
+    if chunk_size <= 0:
+        raise ValueError("max_datagram too small for fragment header")
+    chunks = [payload[i:i + chunk_size] for i in range(0, len(payload), chunk_size)]
+    total = len(chunks)
+    frames = []
+    for index, chunk in enumerate(chunks):
+        out = bytearray((FORMAT_FRAGMENT,))
+        encode_uvarint(frag_id, out)
+        encode_uvarint(index, out)
+        encode_uvarint(total, out)
+        out += chunk
+        frames.append(bytes(out))
+    return frames
+
+
+def parse_fragment(data: bytes) -> Tuple[int, int, int, bytes]:
+    """Parse a fragment frame into (frag_id, index, total, chunk)."""
+    if not data or data[0] != FORMAT_FRAGMENT:
+        raise CodecError("not a fragment frame")
+    frag_id, pos = read_uvarint(data, 1)
+    index, pos = read_uvarint(data, pos)
+    total, pos = read_uvarint(data, pos)
+    if total <= 0 or index >= total:
+        raise CodecError(f"bad fragment index {index}/{total}")
+    return frag_id, index, total, data[pos:]
+
+
+# ---------------------------------------------------------------------------
+# encoded-size accounting for the simulator
+# ---------------------------------------------------------------------------
+
+#: Nominal per-envelope overhead charged on top of the encoded message
+#: body: format byte + length prefix + a small sender NodeId + a short
+#: protocol name. Fixed so the size is cacheable per message instance
+#: (the real sender/protocol vary by a few bytes at most).
+ENVELOPE_OVERHEAD = 14
+
+
+def encoded_wire_size(message: Message) -> int:
+    """Binary-encoded size of ``message`` plus nominal envelope overhead.
+
+    Used by ``Network(byte_model="encoded")`` so simulated byte counts
+    match what the binary runtime actually puts on the wire. Messages
+    are immutable, so the size is computed once and cached on the
+    instance (mirroring ``Message.size_bytes``). Payloads the codec
+    cannot encode (sim-only object graphs) fall back to the estimate.
+    """
+    try:
+        return message._encoded_size_cache  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    out = bytearray()
+    try:
+        _binary_encode(message, out)
+        size = len(out) + ENVELOPE_OVERHEAD
+    except CodecError:
+        size = message.size_bytes()
+    object.__setattr__(message, "_encoded_size_cache", size)
+    return size

@@ -44,17 +44,20 @@ def measure_antientropy_cost(
     period: float = 1.0,
     max_digest: Optional[int] = None,
     seed: int = 7,
+    byte_model: str = "estimate",
 ) -> Dict[str, Any]:
     """Run one reconciliation-cost cell; see module docstring.
 
     Returns a dict with ``digest_bytes``, ``items_bytes``, ``rounds``,
     ``digest_bytes_per_round``, ``converged_at`` (simulated seconds, or
     None), ``identical`` (post-run store equality) and ``wall_s``.
+    ``byte_model="encoded"`` charges real binary-codec frame sizes
+    instead of the cheap estimate, for comparison against runtime runs.
     """
     if not 0 <= divergence <= 1:
         raise ValueError("divergence must be in [0, 1]")
     sim = Simulation(seed=seed)
-    cluster = Cluster(sim, latency=FixedLatency(0.01))
+    cluster = Cluster(sim, latency=FixedLatency(0.01), byte_model=byte_model)
     memtables = []
 
     def factory(node):

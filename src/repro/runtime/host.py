@@ -11,22 +11,48 @@ Addressing: a node's :class:`NodeId` value is its UDP port; the label
 carries ``host:port``. The default address book resolves ids to
 ``127.0.0.1:<value>`` (localhost clusters); pass a custom resolver for
 multi-host deployments.
+
+Wire path: each node encodes with its configured codec ("json" or
+"binary" — see :mod:`repro.common.codec`) but decodes any format, so
+mixed clusters interoperate. ``send()`` does not transmit immediately:
+envelopes are coalesced per destination and flushed on the next event
+loop tick or when the buffer would exceed the MTU budget, packing many
+protocol messages into one datagram. Single messages larger than
+``max_datagram`` are split into fragment frames and reassembled on the
+receive side instead of being rejected by the OS.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.common.codec import Codec, CodecError
+from repro.common.codec import (
+    FORMAT_FRAGMENT,
+    CodecError,
+    CodecLike,
+    decode_datagram_detailed,
+    fragment_payload,
+    make_codec,
+    parse_fragment,
+)
 from repro.common.ids import NodeId
 from repro.common.messages import Message
-from repro.sim.metrics import Metrics
+from repro.sim.metrics import Counter, Metrics
 from repro.sim.node import Host, Protocol
 
 #: Resolves a NodeId to a UDP address.
 AddressBook = Callable[[NodeId], Tuple[str, int]]
+
+#: Conservative per-envelope framing budget used when filling an MTU:
+#: the varint length prefix (binary) or newline separator (JSON).
+_PER_ENVELOPE_OVERHEAD = 3
+
+#: Cap on concurrently reassembling fragmented messages per node; above
+#: it the oldest partial reassembly is evicted (it behaves like loss,
+#: which the protocols tolerate by design).
+_MAX_REASSEMBLIES = 64
 
 
 def localhost_address_book(node_id: NodeId) -> Tuple[str, int]:
@@ -56,7 +82,17 @@ class _TimerHandle:
 
 
 class AsyncioNode(Host, asyncio.DatagramProtocol):
-    """One real process-like node: UDP endpoint + protocol stack."""
+    """One real process-like node: UDP endpoint + protocol stack.
+
+    Args:
+        codec: wire format this node encodes with — "json", "binary" or
+            a codec instance. Decoding always auto-detects per datagram.
+        coalesce: batch same-destination envelopes into one datagram,
+            flushed on the next loop tick or at the MTU budget.
+        mtu: coalescing budget in bytes; a buffer never grows past it.
+        max_datagram: largest datagram handed to the socket; larger
+            single frames are split into fragments and reassembled.
+    """
 
     def __init__(
         self,
@@ -66,7 +102,13 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         seed: int = 0,
         metrics: Optional[Metrics] = None,
         bind_host: str = "127.0.0.1",
+        codec: Union[str, CodecLike] = "json",
+        coalesce: bool = True,
+        mtu: int = 1400,
+        max_datagram: int = 60000,
     ):
+        if mtu <= 0 or max_datagram < mtu:
+            raise ValueError("need 0 < mtu <= max_datagram")
         self._node_id = node_id_for(bind_host, port)
         self.bind_host = bind_host
         self.port = port
@@ -75,12 +117,36 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         self._metrics = metrics if metrics is not None else Metrics()
         self._rng = random.Random(f"{seed}/{port}")
         self._durable: Dict[str, Any] = {}
-        self._codec = Codec()
+        self._codec = make_codec(codec)
+        self.coalesce = coalesce
+        self.mtu = mtu
+        self.max_datagram = max_datagram
         self._protocols: Dict[str, Protocol] = {}
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._epoch = 0
         self.running = False
+        # -- send-side coalescing state --
+        self._buffers: Dict[Tuple[str, int], List[bytes]] = {}
+        self._buffered_bytes: Dict[Tuple[str, int], int] = {}
+        self._flush_scheduled = False
+        self._next_frag_id = 0
+        # -- receive-side reassembly: (addr, frag_id) -> [total, {index: chunk}]
+        self._reassembly: Dict[Tuple[Tuple[str, int], int], List[Any]] = {}
+        # -- interned metric handles (mirrors sim.Network's counter set) --
+        m = self._metrics
+        self._sent_total, self._bytes_total = m.counter_pair("net.sent.total", "net.bytes.total")
+        self._delivered_total = m.counter("net.delivered.total")
+        self._delivered_bytes = m.counter("net.delivered.bytes.total")
+        self._datagrams_sent = m.counter("net.datagrams.total")
+        self._datagrams_received = m.counter("net.datagrams.received")
+        self._wire_bytes = m.counter("net.bytes.wire")
+        self._coalesced = m.counter("runtime.coalesced_messages")
+        self._encode_errors = m.counter("runtime.encode_errors")
+        self._decode_errors = m.counter("runtime.decode_errors")
+        self._proto_handles: Dict[str, Tuple[Counter, Counter]] = {}
+        self._category_handles: Dict[Tuple[str, str], Tuple[Counter, Counter]] = {}
+        self._delivered_handles: Dict[str, Counter] = {}
 
     # -- Host ------------------------------------------------------------
     @property
@@ -104,20 +170,116 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
     def durable(self) -> Dict[str, Any]:
         return self._durable
 
+    # -- metric handle interning (same counter names as sim.Network) ----
+    def protocol_counters(self, protocol: str) -> Tuple[Counter, Counter]:
+        """Interned ``(net.sent.<p>, net.bytes.<p>)`` handles."""
+        handles = self._proto_handles.get(protocol)
+        if handles is None:
+            handles = self._metrics.counter_pair(f"net.sent.{protocol}", f"net.bytes.{protocol}")
+            self._proto_handles[protocol] = handles
+        return handles
+
+    def category_counters(self, protocol: str, category: str) -> Tuple[Counter, Counter]:
+        """Interned ``(net.sent.<p>.<c>, net.bytes.<p>.<c>)`` handles."""
+        handles = self._category_handles.get((protocol, category))
+        if handles is None:
+            handles = self._metrics.counter_pair(
+                f"net.sent.{protocol}.{category}", f"net.bytes.{protocol}.{category}")
+            self._category_handles[(protocol, category)] = handles
+        return handles
+
+    def _delivered_bytes_counter(self, protocol: str) -> Counter:
+        handle = self._delivered_handles.get(protocol)
+        if handle is None:
+            handle = self._metrics.counter(f"net.delivered.bytes.{protocol}")
+            self._delivered_handles[protocol] = handle
+        return handle
+
+    # -- sending ---------------------------------------------------------
     def send(self, dst: NodeId, protocol: str, message: Message) -> None:
         if not self.running or self._transport is None:
             return
         try:
-            payload = self._codec.encode(self._node_id, protocol, message)
+            envelope = self._codec.encode_envelope(self._node_id, protocol, message)
         except CodecError:
-            self._metrics.counter("runtime.encode_errors").inc()
+            self._encode_errors.inc()
             return
-        self._transport.sendto(payload, self.address_book(dst))
-        self._metrics.counter("net.sent.total").inc()
-        self._metrics.counter(f"net.sent.{protocol}").inc()
-        self._metrics.counter("net.bytes.total").inc(len(payload))
-        if message.wire_category is not None:
-            self._metrics.counter(f"net.bytes.{protocol}.{message.wire_category}").inc(len(payload))
+        size = len(envelope)
+        # Charge the *actual* encoded bytes, with the same counter set as
+        # the simulated network: totals, per-protocol, per-category.
+        handles = self._proto_handles.get(protocol)
+        if handles is None:
+            handles = self.protocol_counters(protocol)
+        self._sent_total.inc()
+        self._bytes_total.inc(size)
+        handles[0].inc()
+        handles[1].inc(size)
+        category = message.wire_category
+        if category is not None:
+            cat = self._category_handles.get((protocol, category))
+            if cat is None:
+                cat = self.category_counters(protocol, category)
+            cat[0].inc()
+            cat[1].inc(size)
+
+        addr = self.address_book(dst)
+        if not self.coalesce:
+            self._transmit([envelope], addr)
+            return
+        pending = self._buffers.get(addr)
+        if pending is None:
+            pending = self._buffers[addr] = []
+            self._buffered_bytes[addr] = 0
+        budget = size + _PER_ENVELOPE_OVERHEAD
+        if pending and self._buffered_bytes[addr] + budget > self.mtu:
+            self._flush_destination(addr)
+            pending = self._buffers[addr]
+        if budget >= self.mtu:
+            # Oversized for batching: ship alone (fragmenting if needed).
+            self._transmit([envelope], addr)
+            return
+        pending.append(envelope)
+        self._buffered_bytes[addr] += budget
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            assert self._loop is not None
+            self._loop.call_soon(self._flush_all)
+
+    def _flush_all(self) -> None:
+        self._flush_scheduled = False
+        for addr in [a for a, pending in self._buffers.items() if pending]:
+            self._flush_destination(addr)
+
+    def _flush_destination(self, addr: Tuple[str, int]) -> None:
+        pending = self._buffers.get(addr)
+        if not pending:
+            return
+        self._buffers[addr] = []
+        self._buffered_bytes[addr] = 0
+        if len(pending) > 1:
+            self._coalesced.inc(len(pending) - 1)
+        self._transmit(pending, addr)
+
+    def _transmit(self, envelopes: List[bytes], addr: Tuple[str, int]) -> None:
+        if self._transport is None:
+            return
+        datagram = self._codec.frame(envelopes)
+        if len(datagram) > self.max_datagram:
+            self._next_frag_id += 1
+            fragments = fragment_payload(datagram, self._next_frag_id, self.max_datagram)
+            for fragment in fragments:
+                self._transport.sendto(fragment, addr)
+                self._datagrams_sent.inc()
+                self._wire_bytes.inc(len(fragment))
+            self._metrics.counter("runtime.fragments.sent").inc(len(fragments))
+            return
+        self._transport.sendto(datagram, addr)
+        self._datagrams_sent.inc()
+        self._wire_bytes.inc(len(datagram))
+
+    def flush(self) -> None:
+        """Force out all coalescing buffers now (also runs on shutdown)."""
+        self._flush_all()
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
         assert self._loop is not None, "node not started"
@@ -164,6 +326,9 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         self.running = False
         self._epoch += 1
         self._protocols = {}
+        self._buffers = {}
+        self._buffered_bytes = {}
+        self._reassembly = {}
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -174,30 +339,74 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
             return
         for proto in self._protocols.values():
             proto.on_stop()
+        # Farewell messages from on_stop hooks should reach the wire.
+        self._flush_all()
         self.crash()
 
     # -- DatagramProtocol ----------------------------------------------------
     def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
         if not self.running:
             return
+        self._datagrams_received.inc()
+        if data and data[0] == FORMAT_FRAGMENT:
+            reassembled = self._reassemble(data, addr)
+            if reassembled is None:
+                return
+            data = reassembled
         try:
-            envelope = self._codec.decode(data)
+            envelopes = decode_datagram_detailed(data)
         except CodecError:
-            self._metrics.counter("runtime.decode_errors").inc()
+            self._decode_errors.inc()
             return
-        proto = self._protocols.get(envelope.protocol)
-        if proto is None:
-            self._metrics.counter("node.dropped.no_protocol").inc()
-            return
-        self._metrics.counter("net.delivered.total").inc()
-        proto.on_message(envelope.sender, envelope.message)
+        for envelope, size in envelopes:
+            self._delivered_total.inc()
+            self._delivered_bytes.inc(size)
+            self._delivered_bytes_counter(envelope.protocol).inc(size)
+            proto = self._protocols.get(envelope.protocol)
+            if proto is None:
+                self._metrics.counter("node.dropped.no_protocol").inc()
+                continue
+            proto.on_message(envelope.sender, envelope.message)
+            if not self.running:
+                # A handler stopped/crashed the node; drop the rest of
+                # the datagram like any other post-crash arrival.
+                return
+
+    def _reassemble(self, data: bytes, addr: Tuple[str, int]) -> Optional[bytes]:
+        try:
+            frag_id, index, total, chunk = parse_fragment(data)
+        except CodecError:
+            self._decode_errors.inc()
+            return None
+        self._metrics.counter("runtime.fragments.received").inc()
+        key = (addr, frag_id)
+        entry = self._reassembly.get(key)
+        if entry is None:
+            if len(self._reassembly) >= _MAX_REASSEMBLIES:
+                self._reassembly.pop(next(iter(self._reassembly)))
+                self._metrics.counter("runtime.fragments.evicted").inc()
+            entry = self._reassembly[key] = [total, {}]
+        if entry[0] != total:
+            # Conflicting totals for the same id: treat as corruption.
+            del self._reassembly[key]
+            self._decode_errors.inc()
+            return None
+        entry[1][index] = chunk
+        if len(entry[1]) < total:
+            return None
+        del self._reassembly[key]
+        return b"".join(entry[1][i] for i in range(total))
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover
         self._metrics.counter("runtime.socket_errors").inc()
 
 
 class LocalCluster:
-    """N AsyncioNodes on consecutive localhost ports, one event loop."""
+    """N AsyncioNodes on consecutive localhost ports, one event loop.
+
+    ``codec`` may be a single name/instance for a homogeneous cluster or
+    a callable ``index -> codec`` for mixed-format clusters.
+    """
 
     def __init__(
         self,
@@ -205,12 +414,20 @@ class LocalCluster:
         stack_factory: Callable[[AsyncioNode], Sequence[Protocol]],
         base_port: int = 29000,
         seed: int = 0,
+        codec: Union[str, CodecLike, Callable[[int], Union[str, CodecLike]]] = "json",
+        coalesce: bool = True,
+        mtu: int = 1400,
+        max_datagram: int = 60000,
     ):
         if count <= 0:
             raise ValueError("count must be positive")
         self.metrics = Metrics()
+        codec_for = codec if callable(codec) and not isinstance(codec, type) else (lambda i: codec)
         self.nodes: List[AsyncioNode] = [
-            AsyncioNode(base_port + i, stack_factory, seed=seed, metrics=self.metrics)
+            AsyncioNode(
+                base_port + i, stack_factory, seed=seed, metrics=self.metrics,
+                codec=codec_for(i), coalesce=coalesce, mtu=mtu, max_datagram=max_datagram,
+            )
             for i in range(count)
         ]
 

@@ -26,12 +26,14 @@ class Cluster:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         metrics: Optional[Metrics] = None,
+        byte_model: str = "estimate",
     ):
         self.sim = sim
         if network is not None:
             self.network = network
         else:
-            self.network = Network(sim, latency=latency, loss_rate=loss_rate, metrics=metrics)
+            self.network = Network(sim, latency=latency, loss_rate=loss_rate,
+                                   metrics=metrics, byte_model=byte_model)
         self.metrics = self.network.metrics
         self._nodes: Dict[NodeId, Node] = {}
         self._next_id = 0

@@ -10,6 +10,7 @@ for — they must tolerate loss and reordering natively.
 
 from __future__ import annotations
 
+import operator
 import random
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
@@ -79,6 +80,10 @@ class Network:
         latency: one-way delay model.
         loss_rate: probability each message is silently dropped.
         metrics: registry charged with per-protocol message/byte counts.
+        byte_model: how a message's wire cost is charged — "estimate"
+            (the cheap ``Message.size_bytes`` walk, the default) or
+            "encoded" (the real binary-codec frame size, making sim byte
+            curves directly comparable to the binary asyncio runtime).
     """
 
     def __init__(
@@ -87,9 +92,21 @@ class Network:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         metrics: Optional[Metrics] = None,
+        byte_model: str = "estimate",
     ):
         if not 0 <= loss_rate < 1:
             raise ValueError("loss_rate must be in [0, 1)")
+        if byte_model not in ("estimate", "encoded"):
+            raise ValueError("byte_model must be 'estimate' or 'encoded'")
+        self.byte_model = byte_model
+        if byte_model == "encoded":
+            from repro.common.codec import encoded_wire_size
+
+            self._size_of: Callable[[Message], int] = encoded_wire_size
+        else:
+            # operator.methodcaller keeps dynamic dispatch: subclasses may
+            # override size_bytes (the unbound Message.size_bytes would not).
+            self._size_of = operator.methodcaller("size_bytes")
         self.sim = sim
         self.latency = latency if latency is not None else UniformLatency()
         self.loss_rate = loss_rate
@@ -159,7 +176,7 @@ class Network:
         handles = self._proto_handles.get(protocol)
         if handles is None:
             handles = self.protocol_counters(protocol)
-        size = message.size_bytes()
+        size = self._size_of(message)
         handles[0].inc()
         handles[1].inc(size)
         self._sent_total.inc()

@@ -1,0 +1,244 @@
+"""Tests for the runtime wire path: coalescing, fragmentation, codec
+mixing and metric parity with the simulated network."""
+
+import asyncio
+
+import pytest
+
+from repro.common.ids import NodeId
+from repro.epidemic import EagerGossip
+from repro.epidemic.antientropy import DigestMessage
+from repro.epidemic.eager import GossipMessage
+from repro.membership import CyclonProtocol
+from repro.runtime import AsyncioNode, LocalCluster
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+from repro.sim.node import Protocol
+from repro.sim.simulator import Simulation
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _Sink(Protocol):
+    """Recorder stack: stores every delivered message, sends nothing."""
+
+    name = "sink"
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message))
+
+
+def _sink_stack(node):
+    sink = _Sink()
+    node.test_sink = sink  # type: ignore[attr-defined]
+    return [sink]
+
+
+class TestCounterParity:
+    """Satellite: the runtime's net.sent/net.bytes counter families must
+    match the simulator's exactly, so experiment post-processing works
+    on either world's metrics unchanged."""
+
+    def _net_keys(self, metrics: Metrics):
+        return {
+            name for name in metrics.counters
+            if name.startswith(("net.sent.", "net.bytes."))
+            and name != "net.bytes.wire"  # runtime-only: framing overhead
+        }
+
+    def test_sent_counter_families_match_simulator(self):
+        message = DigestMessage(entries=(("k", 1),))  # wire_category "digest"
+
+        sim = Simulation(seed=1)
+        sim_net = Network(sim, metrics=Metrics())
+        sim_net.send(NodeId(0), NodeId(1), "anti-entropy", message)
+
+        async def scenario():
+            node = AsyncioNode(31000, _sink_stack)
+            await node.start()
+            node.send(NodeId(31001, "127.0.0.1:31001"), "anti-entropy", message)
+            node.stop()
+            return node.metrics
+
+        runtime_metrics = run(scenario())
+        assert self._net_keys(sim_net.metrics) == self._net_keys(runtime_metrics)
+        # The previously-missing per-protocol bytes counter exists and
+        # carries the real encoded size.
+        assert runtime_metrics.counter_value("net.bytes.anti-entropy") > 0
+        assert runtime_metrics.counter_value("net.bytes.anti-entropy") == \
+            runtime_metrics.counter_value("net.bytes.total")
+        assert runtime_metrics.counter_value("net.sent.anti-entropy.digest") == 1
+        assert runtime_metrics.counter_value("net.bytes.anti-entropy.digest") == \
+            runtime_metrics.counter_value("net.bytes.total")
+
+
+class TestDeliveredBytes:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_delivered_bytes_equal_sent_bytes_without_loss(self, codec):
+        async def scenario():
+            cluster = LocalCluster(2, _sink_stack, base_port=31010, codec=codec)
+            await cluster.start(seed_views=0)
+            src, dst = cluster.nodes
+            for i in range(20):
+                src.send(dst.node_id, "sink", GossipMessage(f"m{i}", {"i": i}))
+            await asyncio.sleep(0.3)
+            cluster.stop()
+            return cluster.metrics
+
+        metrics = run(scenario())
+        sent_bytes = metrics.counter_value("net.bytes.total")
+        assert sent_bytes > 0
+        assert metrics.counter_value("net.delivered.bytes.total") == sent_bytes
+        assert metrics.counter_value("net.delivered.bytes.sink") == sent_bytes
+        assert metrics.counter_value("net.delivered.total") == 20
+
+
+class TestCoalescing:
+    def test_burst_to_one_destination_packs_datagrams(self):
+        async def scenario():
+            cluster = LocalCluster(2, _sink_stack, base_port=31020, codec="binary")
+            await cluster.start(seed_views=0)
+            src, dst = cluster.nodes
+            for i in range(50):
+                src.send(dst.node_id, "sink", GossipMessage(f"m{i:03d}", {"i": i}))
+            await asyncio.sleep(0.3)
+            cluster.stop()
+            return cluster.metrics, len(dst.test_sink.received)
+
+        metrics, delivered = run(scenario())
+        datagrams = metrics.counter_value("net.datagrams.total")
+        assert delivered == 50
+        assert datagrams < 25, f"{datagrams} datagrams for 50 messages"
+        assert metrics.counter_value("runtime.coalesced_messages") == 50 - datagrams
+
+    def test_coalescing_respects_mtu_budget(self):
+        async def scenario():
+            cluster = LocalCluster(2, _sink_stack, base_port=31030,
+                                   codec="binary", mtu=256)
+            await cluster.start(seed_views=0)
+            src, dst = cluster.nodes
+            for i in range(40):
+                src.send(dst.node_id, "sink",
+                         GossipMessage(f"m{i:03d}", {"pad": "y" * 40}))
+            await asyncio.sleep(0.3)
+            cluster.stop()
+            return cluster.metrics, len(dst.test_sink.received)
+
+        metrics, delivered = run(scenario())
+        assert delivered == 40
+        # Buffers flushed at the 256-byte budget: several datagrams, each
+        # well under the configured MTU.
+        assert metrics.counter_value("net.datagrams.total") > 5
+        assert metrics.counter_value("net.bytes.wire") / \
+            metrics.counter_value("net.datagrams.total") <= 256
+
+    def test_coalesce_off_means_one_datagram_per_send(self):
+        async def scenario():
+            cluster = LocalCluster(2, _sink_stack, base_port=31040,
+                                   codec="json", coalesce=False)
+            await cluster.start(seed_views=0)
+            src, dst = cluster.nodes
+            for i in range(10):
+                src.send(dst.node_id, "sink", GossipMessage(f"m{i}", None))
+            await asyncio.sleep(0.2)
+            cluster.stop()
+            return cluster.metrics
+
+        metrics = run(scenario())
+        assert metrics.counter_value("net.datagrams.total") == 10
+        assert metrics.counter_value("runtime.coalesced_messages") == 0
+        assert metrics.counter_value("net.delivered.total") == 10
+
+
+class TestFragmentation:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_oversized_message_survives_the_wire(self, codec):
+        big_payload = {"blob": "z" * 200_000}
+
+        async def scenario():
+            cluster = LocalCluster(2, _sink_stack, base_port=31050, codec=codec)
+            await cluster.start(seed_views=0)
+            src, dst = cluster.nodes
+            src.send(dst.node_id, "sink", GossipMessage("big", big_payload))
+            await asyncio.sleep(0.4)
+            cluster.stop()
+            received = list(dst.test_sink.received)
+            return cluster.metrics, received
+
+        metrics, received = run(scenario())
+        assert len(received) == 1
+        _, message = received[0]
+        assert message.item_id == "big"
+        assert message.payload == big_payload
+        assert metrics.counter_value("runtime.fragments.sent") >= 4
+        assert metrics.counter_value("runtime.fragments.received") == \
+            metrics.counter_value("runtime.fragments.sent")
+
+
+class TestMixedCodecCluster:
+    def test_mixed_cluster_gossip_converges(self):
+        """Acceptance: half JSON, half binary nodes; auto-detection must
+        let a broadcast cross format boundaries in both directions."""
+
+        async def scenario():
+            cluster = LocalCluster(
+                10,
+                lambda node: [CyclonProtocol(view_size=6, shuffle_size=3, period=0.1),
+                              EagerGossip(fanout=4)],
+                base_port=31100,
+                codec=lambda i: "binary" if i % 2 else "json",
+            )
+            await cluster.start(seed_views=3)
+            await cluster.run_for(0.8)
+            # Originate on a JSON node; relays hop across binary nodes.
+            cluster.nodes[0].protocol("gossip").broadcast("item", {"v": 1})
+            await cluster.run_for(0.8)
+            reached = sum(1 for n in cluster.nodes
+                          if n.protocol("gossip").has_seen("item"))
+            cluster.stop()
+            return reached
+
+        assert run(scenario()) >= 8
+
+    def test_binary_homogeneous_cluster_converges(self):
+        async def scenario():
+            cluster = LocalCluster(
+                8,
+                lambda node: [CyclonProtocol(view_size=5, shuffle_size=3, period=0.1)],
+                base_port=31200,
+                codec="binary",
+            )
+            await cluster.start(seed_views=2)
+            await cluster.run_for(1.2)
+            sizes = [len(n.protocol("membership").view) for n in cluster.nodes]
+            cluster.stop()
+            return sizes
+
+        assert min(run(scenario())) >= 3
+
+
+class TestSimEncodedByteModel:
+    def test_network_rejects_unknown_model(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(ValueError):
+            Network(sim, byte_model="compressed")
+
+    def test_encoded_model_charges_real_frame_bytes(self):
+        from repro.common.codec import encoded_wire_size
+
+        message = DigestMessage(entries=tuple((f"key:{i:04d}", i) for i in range(30)))
+        charged = {}
+        for model in ("estimate", "encoded"):
+            sim = Simulation(seed=1)
+            net = Network(sim, metrics=Metrics(), byte_model=model)
+            net.send(NodeId(0), NodeId(1), "anti-entropy", message)
+            charged[model] = net.metrics.counter_value("net.bytes.total")
+        assert charged["estimate"] == message.size_bytes()
+        assert charged["encoded"] == encoded_wire_size(message)
+        assert charged["encoded"] != charged["estimate"]

@@ -1,0 +1,407 @@
+"""Tests for the binary wire codec, framing, fragmentation and the
+registry-driven JSON<->binary round-trip fuzz."""
+
+import dataclasses
+import importlib
+import math
+import pkgutil
+import random
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.common.codec import (
+    ENVELOPE_OVERHEAD,
+    FORMAT_BINARY,
+    BinaryCodec,
+    Codec,
+    CodecError,
+    decode_datagram,
+    decode_datagram_detailed,
+    encode_uvarint,
+    encoded_wire_size,
+    fragment_payload,
+    make_codec,
+    parse_fragment,
+    read_uvarint,
+)
+from repro.common.ids import NodeId, new_node_id
+from repro.common.messages import (
+    Message,
+    message_type,
+    registered_message_types,
+    wire_struct,
+)
+
+
+@wire_struct
+@dataclass(frozen=True)
+class _WireInner:
+    label: str
+    weight: float
+
+
+@message_type
+@dataclass(frozen=True)
+class _WireProbe(Message):
+    text: str = ""
+    number: int = 0
+    data: Dict[str, Any] = field(default_factory=dict)
+    maybe: Optional[NodeId] = None
+    pair: Tuple[int, int] = (0, 0)
+    inner: Optional[_WireInner] = None
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**63, 2**80])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_uvarint(value, out)
+        decoded, pos = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated(self):
+        with pytest.raises(CodecError, match="truncated varint"):
+            read_uvarint(b"\xff", 0)
+
+
+class TestBinaryRoundTrip:
+    def setup_method(self):
+        self.codec = BinaryCodec()
+        self.sender = new_node_id("binary-test")
+
+    def roundtrip(self, message: Message) -> Message:
+        payload = self.codec.encode(self.sender, "proto", message)
+        assert payload[0] == FORMAT_BINARY
+        decoded = self.codec.decode(payload)
+        assert decoded.sender == self.sender
+        assert decoded.sender.label == self.sender.label
+        assert decoded.protocol == "proto"
+        return decoded.message
+
+    def test_plain_fields(self):
+        msg = _WireProbe(text="hello", number=-42)
+        assert self.roundtrip(msg) == msg
+
+    def test_node_id_label_preserved(self):
+        out = self.roundtrip(_WireProbe(maybe=NodeId(7, "n7")))
+        assert out.maybe == NodeId(7) and out.maybe.label == "n7"
+
+    def test_node_id_without_label(self):
+        out = self.roundtrip(_WireProbe(maybe=NodeId(3)))
+        assert out.maybe.label is None
+
+    def test_tuple_and_nested_struct(self):
+        msg = _WireProbe(pair=(3, -9), inner=_WireInner("a", 1.5))
+        out = self.roundtrip(msg)
+        assert out.pair == (3, -9) and isinstance(out.pair, tuple)
+        assert out.inner == _WireInner("a", 1.5)
+
+    def test_containers(self):
+        msg = _WireProbe(data={
+            "list": [1, 2.5, "three", None, True],
+            "map": {"k": {"nested": [7]}},
+            "set": frozenset({"a", "b"}),
+            1: "non-string key",
+        })
+        assert self.roundtrip(msg) == msg
+
+    def test_binary_smaller_than_json(self):
+        msg = _WireProbe(text="x" * 40, number=123456,
+                         data={"a": 1, "b": 2.5}, maybe=NodeId(9, "n9"))
+        json_frame = Codec().encode(self.sender, "proto", msg)
+        binary_frame = self.codec.encode(self.sender, "proto", msg)
+        assert len(binary_frame) < len(json_frame) / 2
+
+    def test_unsupported_value_raises(self):
+        with pytest.raises(CodecError):
+            self.codec.encode(self.sender, "p", _WireProbe(data={"bad": object()}))
+
+    @given(
+        st.text(max_size=50),
+        st.integers(min_value=-(2**70), max_value=2**70),
+        st.dictionaries(st.text(min_size=1, max_size=8),
+                        st.one_of(st.integers(min_value=-(2**40), max_value=2**40),
+                                  st.floats(allow_nan=False, allow_infinity=False),
+                                  st.text(max_size=10),
+                                  st.booleans(),
+                                  st.none()),
+                        max_size=5),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, text, number, data):
+        msg = _WireProbe(text=text, number=number, data=data)
+        assert self.roundtrip(msg) == msg
+
+
+class TestAutoDetection:
+    def setup_method(self):
+        self.sender = new_node_id("detect-test")
+        self.msg = _WireProbe(text="payload", number=5)
+
+    def test_detects_json_frame(self):
+        frame = Codec().encode(self.sender, "p", self.msg)
+        [envelope] = decode_datagram(frame)
+        assert envelope.message == self.msg
+
+    def test_detects_binary_frame(self):
+        frame = BinaryCodec().encode(self.sender, "p", self.msg)
+        [envelope] = decode_datagram(frame)
+        assert envelope.message == self.msg
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_multi_envelope_frame(self, codec_name):
+        codec = make_codec(codec_name)
+        messages = [_WireProbe(text=f"m{i}", number=i) for i in range(5)]
+        envelopes = [codec.encode_envelope(self.sender, "p", m) for m in messages]
+        frame = codec.frame(envelopes)
+        detailed = decode_datagram_detailed(frame)
+        assert [env.message for env, _ in detailed] == messages
+        # Receive-side byte attribution matches the send-side envelopes.
+        assert [size for _, size in detailed] == [len(e) for e in envelopes]
+
+    def test_make_codec_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_codec("protobuf")
+
+
+class TestMalformedFrames:
+    def test_empty_datagram(self):
+        with pytest.raises(CodecError):
+            decode_datagram(b"")
+
+    def test_bad_version_byte(self):
+        with pytest.raises(CodecError, match="unknown wire format byte"):
+            decode_datagram(b"\x07junk")
+
+    def test_truncated_length_varint(self):
+        with pytest.raises(CodecError, match="truncated varint"):
+            decode_datagram(bytes([FORMAT_BINARY, 0xFF]))
+
+    def test_truncated_envelope(self):
+        frame = bytearray([FORMAT_BINARY])
+        encode_uvarint(100, frame)
+        frame += b"short"
+        with pytest.raises(CodecError, match="truncated envelope"):
+            decode_datagram(bytes(frame))
+
+    def test_junk_value_tag(self):
+        frame = bytearray([FORMAT_BINARY])
+        encode_uvarint(1, frame)
+        frame.append(0xEE)
+        with pytest.raises(CodecError, match="unknown binary value tag"):
+            decode_datagram(bytes(frame))
+
+    def test_empty_binary_frame(self):
+        with pytest.raises(CodecError, match="no envelopes"):
+            decode_datagram(bytes([FORMAT_BINARY]))
+
+    def test_fragment_frame_needs_reassembly(self):
+        [fragment] = fragment_payload(b"payload", frag_id=1, max_datagram=100)
+        with pytest.raises(CodecError, match="reassembly"):
+            decode_datagram(fragment)
+
+    def test_garbage_not_json(self):
+        with pytest.raises(CodecError):
+            decode_datagram(b"{not json")
+
+    def test_trailing_bytes_after_envelope(self):
+        codec = BinaryCodec()
+        envelope = codec.encode_envelope(new_node_id(), "p", _WireProbe())
+        frame = codec.frame([envelope + b"xx"])
+        with pytest.raises(CodecError, match="trailing bytes"):
+            decode_datagram(frame)
+
+
+class TestNonFiniteFloats:
+    @pytest.mark.parametrize("codec_cls", [Codec, BinaryCodec])
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejected_with_codec_error(self, codec_cls, bad):
+        message = _WireProbe(data={"x": bad})
+        with pytest.raises(CodecError):
+            codec_cls().encode(new_node_id(), "p", message)
+
+    def test_finite_floats_fine(self):
+        message = _WireProbe(data={"x": 1e308, "y": -0.0})
+        for codec_cls in (Codec, BinaryCodec):
+            codec = codec_cls()
+            out = codec.decode(codec.encode(new_node_id(), "p", message))
+            assert out.message == message
+
+
+class TestFragmentation:
+    def test_split_and_reassemble(self):
+        payload = bytes(range(256)) * 40  # 10240 bytes
+        fragments = fragment_payload(payload, frag_id=7, max_datagram=1400)
+        assert len(fragments) > 1
+        assert all(len(f) <= 1400 for f in fragments)
+        parsed = [parse_fragment(f) for f in fragments]
+        assert {p[0] for p in parsed} == {7}
+        assert [p[1] for p in parsed] == list(range(len(fragments)))
+        assert {p[2] for p in parsed} == {len(fragments)}
+        assert b"".join(p[3] for p in parsed) == payload
+
+    def test_small_payload_single_fragment(self):
+        [fragment] = fragment_payload(b"tiny", frag_id=1, max_datagram=1400)
+        assert parse_fragment(fragment)[1:] == (0, 1, b"tiny")
+
+    def test_parse_rejects_non_fragment(self):
+        with pytest.raises(CodecError):
+            parse_fragment(b"\x01whatever")
+
+    def test_parse_rejects_bad_index(self):
+        frame = bytearray([0x02])
+        for v in (1, 5, 2):  # index 5 of total 2
+            encode_uvarint(v, frame)
+        with pytest.raises(CodecError, match="bad fragment index"):
+            parse_fragment(bytes(frame))
+
+
+class TestEncodedWireSize:
+    def test_positive_and_cached(self):
+        message = _WireProbe(text="hello", number=12)
+        size = encoded_wire_size(message)
+        assert size > ENVELOPE_OVERHEAD
+        assert encoded_wire_size(message) == size  # cached on instance
+        out = bytearray()
+        from repro.common.codec import _binary_encode
+
+        _binary_encode(message, out)
+        assert size == len(out) + ENVELOPE_OVERHEAD
+
+    def test_falls_back_to_estimate_for_unencodable(self):
+        message = _WireProbe(data={"obj": object()})
+        assert encoded_wire_size(message) == message.size_bytes()
+
+
+# ---------------------------------------------------------------------------
+# registry-driven fuzz: every registered message round-trips identically
+# through both codecs
+# ---------------------------------------------------------------------------
+
+
+def _import_all_repro_modules() -> None:
+    """Populate the message registry with every message in the library."""
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        importlib.import_module(info.name)
+
+
+def _value_for(annotation: Any, rng: random.Random, depth: int = 0) -> Any:
+    origin = typing.get_origin(annotation)
+    if annotation is str:
+        return f"s{rng.randrange(10_000)}"
+    if annotation is int:
+        return rng.randrange(0, 100_000)
+    if annotation is float:
+        return round(rng.uniform(-1000.0, 1000.0), 4)
+    if annotation is bool:
+        return rng.random() < 0.5
+    if annotation is NodeId:
+        return NodeId(rng.randrange(0, 500), rng.choice([None, f"n{rng.randrange(99)}"]))
+    if annotation is Any:
+        return rng.choice([
+            None, True, 17, 2.25, "free-form",
+            {"k": [1, 2.0, "x", None], "nested": {"a": False}},
+            (1, "pair"),
+        ])
+    if origin is typing.Union:
+        args = [a for a in typing.get_args(annotation) if a is not type(None)]
+        if type(None) in typing.get_args(annotation) and rng.random() < 0.3:
+            return None
+        return _value_for(rng.choice(args), rng, depth)
+    if origin is tuple:
+        args = typing.get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_value_for(args[0], rng, depth + 1)
+                         for _ in range(rng.randrange(0, 4)))
+        return tuple(_value_for(a, rng, depth + 1) for a in args)
+    if origin is dict:
+        key_t, val_t = typing.get_args(annotation)
+        return {_value_for(key_t, rng, depth + 1): _value_for(val_t, rng, depth + 1)
+                for _ in range(rng.randrange(0, 4))}
+    if origin is list:
+        (item_t,) = typing.get_args(annotation)
+        return [_value_for(item_t, rng, depth + 1) for _ in range(rng.randrange(0, 4))]
+    if origin in (set, frozenset):
+        (item_t,) = typing.get_args(annotation)
+        return frozenset(_value_for(item_t, rng, depth + 1)
+                         for _ in range(rng.randrange(0, 4)))
+    if dataclasses.is_dataclass(annotation):
+        return _instance_of(annotation, rng, depth + 1)
+    raise AssertionError(f"no fuzz generator for annotation {annotation!r}")
+
+
+def _instance_of(cls: type, rng: random.Random, depth: int = 0) -> Any:
+    hints = typing.get_type_hints(cls)
+    kwargs = {f.name: _value_for(hints[f.name], rng, depth)
+              for f in dataclasses.fields(cls)}
+    return cls(**kwargs)
+
+
+class TestRegistryFuzz:
+    def test_every_registered_message_roundtrips_both_codecs(self):
+        _import_all_repro_modules()
+        registry = registered_message_types()
+        assert len(registry) >= 30, "registry import walk looks broken"
+        json_codec, binary_codec = Codec(), BinaryCodec()
+        sender = NodeId(42, "127.0.0.1:4242")
+        rng = random.Random(20260806)
+        exercised = 0
+        for name in sorted(registry):
+            cls = registry[name]
+            for _ in range(3):
+                message = _instance_of(cls, rng)
+                json_rt = json_codec.decode(
+                    json_codec.encode(sender, "fuzz", message)).message
+                binary_rt = binary_codec.decode(
+                    binary_codec.encode(sender, "fuzz", message)).message
+                assert json_rt == message, f"JSON round-trip changed {name}"
+                assert binary_rt == message, f"binary round-trip changed {name}"
+                # Cross-format: JSON-encoded then re-encoded as binary and
+                # back must still be the same value (mixed-cluster path).
+                cross = binary_codec.decode(
+                    binary_codec.encode(sender, "fuzz", json_rt)).message
+                assert cross == message, f"JSON->binary cross-trip changed {name}"
+                exercised += 1
+        assert exercised == 3 * len(registry)
+
+    def test_binary_never_larger_family(self):
+        """Spot-check the compactness claim on real protocol messages."""
+        _import_all_repro_modules()
+        from repro.epidemic.antientropy import DigestMessage
+        from repro.membership.cyclon import ShuffleRequest
+        from repro.membership.views import NodeDescriptor
+
+        sender = NodeId(1, "127.0.0.1:9001")
+        samples = [
+            DigestMessage(entries=tuple((f"key:{i:05d}", i) for i in range(50))),
+            ShuffleRequest(entries=tuple(
+                NodeDescriptor(NodeId(i, f"127.0.0.1:{29000 + i}"), age=i % 5)
+                for i in range(8))),
+        ]
+        for message in samples:
+            json_size = len(Codec().encode(sender, "p", message))
+            binary_size = len(BinaryCodec().encode(sender, "p", message))
+            assert binary_size * 2 <= json_size, type(message).__name__
+
+
+class TestJsonCodecStillStrict:
+    """The JSON codec keeps rejecting what it always rejected."""
+
+    def test_math_isfinite_guard_matches_json_dumps(self):
+        # Both rejection layers (explicit check, allow_nan=False) agree.
+        assert not math.isfinite(float("nan"))
+        with pytest.raises(CodecError):
+            Codec().encode(new_node_id(), "p", _WireProbe(number=0, data={"f": float("inf")}))
