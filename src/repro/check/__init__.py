@@ -1,0 +1,55 @@
+"""Jepsen-style fault-injection harness over the simulator.
+
+This package turns the deterministic simulation into a property-based
+consistency-testing rig, in the spirit of Jepsen/Elle but with the huge
+advantage of *virtual* time and *replayable* randomness:
+
+* :mod:`repro.check.nemesis` — composable fault schedules (crashes,
+  partitions, loss/duplication/reordering/delay injection, churn,
+  catastrophes, node isolation) and the driver that applies them to a
+  running :class:`~repro.core.datadroplets.DataDroplets` deployment.
+* :mod:`repro.check.history` — records every client operation with
+  invocation/completion virtual times, values, versions and the serving
+  coordinator.
+* :mod:`repro.check.checkers` — invariants evaluated over a recorded
+  history and a cluster state snapshot: version monotonicity,
+  read-your-writes, no-lost-acknowledged-writes, scan precision,
+  replica-count floor and eventual convergence.
+* :mod:`repro.check.explorer` — the ``repro check`` campaign runner:
+  fuzzes (seed, schedule) pairs, re-runs failures to confirm
+  determinism, greedily shrinks failing schedules and emits a JSON
+  artifact with everything needed to replay them.
+"""
+
+from repro.check.checkers import (  # noqa: F401
+    ReplicaView,
+    Violation,
+    check_convergence,
+    check_no_lost_writes,
+    check_read_your_writes,
+    check_replica_floor,
+    check_scan_precision,
+    check_version_monotonicity,
+    snapshot_cluster,
+)
+from repro.check.history import History, HistoryRecorder, OpRecord, RecordingStore  # noqa: F401
+from repro.check.nemesis import Nemesis, NemesisEvent, NemesisSchedule  # noqa: F401
+
+__all__ = [
+    "History",
+    "HistoryRecorder",
+    "Nemesis",
+    "NemesisEvent",
+    "NemesisSchedule",
+    "OpRecord",
+    "RecordingStore",
+    "ReplicaView",
+    "Violation",
+    "check_convergence",
+    "check_no_lost_writes",
+    "check_read_your_writes",
+    "check_replica_floor",
+    "check_scan_precision",
+    "check_version_monotonicity",
+    "snapshot_cluster",
+]

@@ -1,0 +1,348 @@
+"""Invariant checkers over a recorded history and a cluster snapshot.
+
+The checkers encode what DataDroplets actually promises — eventual
+consistency with acknowledged-write durability — not a stronger model
+it never claimed. Three consequences shape the rules:
+
+* **Indeterminate writes.** A put/delete whose client call failed
+  (timeout, no coordinator) may still have taken effect. The acceptable
+  values for a later read are therefore *the last acknowledged write's
+  value plus the value of every indeterminate write issued after it*.
+* **Stale reads under active faults.** The coordinator's read path is
+  best-effort while probes are being lost: after exhausting its flood
+  retries it returns the best version it saw. Reads overlapping a fault
+  window (plus a settle margin), or served by a *different* coordinator
+  than the one that acknowledged the write, may legitimately be stale —
+  but never *fabricated*: a value that matches no write ever issued for
+  the key is always a violation.
+* **Extinction carve-out (E6a).** Keys whose entire replica set
+  (>= 2 holders) was destroyed by one atomic permanent-failure action
+  are exempt from the lost-write and replica-floor checks; no
+  redundancy protocol can survive the loss of every copy at once.
+  Gradual extinction is *not* exempt — that is a repair failure.
+
+Each checker returns a list of :class:`Violation` with the offending
+key and operation ids, so a failing campaign pinpoints the evidence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.check.history import History, OpRecord
+from repro.core.datadroplets import DataDroplets
+from repro.sim.node import NodeState
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with the evidence to chase it."""
+
+    checker: str
+    key: Optional[str]
+    op_ids: Tuple[int, ...]
+    detail: str
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "checker": self.checker,
+            "key": self.key,
+            "op_ids": list(self.op_ids),
+            "detail": self.detail,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+# ----------------------------------------------------------------------
+# acceptable-value model
+# ----------------------------------------------------------------------
+def _write_value(op: OpRecord) -> Optional[Dict[str, Any]]:
+    """The record a write leaves behind (None for deletes)."""
+    return None if op.kind == "delete" else op.value
+
+
+def acceptable_values(history: History, key: str, before_op_id: int,
+                      ) -> Tuple[List[Optional[Dict[str, Any]]],
+                                 List[Optional[Dict[str, Any]]],
+                                 Optional[OpRecord]]:
+    """``(strict, ever, last_acked)`` for a read of ``key``.
+
+    ``strict`` — values an up-to-date read may return: the last
+    acknowledged write's value, plus every indeterminate write after it.
+    ``ever`` — every value any write (acked or not) could have left,
+    including the never-written ``None``; anything outside it is
+    fabricated data. ``last_acked`` is the acknowledging write record
+    (None if the key has no acknowledged write yet)."""
+    writes = [op for op in history.ops
+              if op.kind in ("put", "delete") and op.key == key
+              and op.op_id < before_op_id]
+    last_acked: Optional[OpRecord] = None
+    for op in writes:
+        if op.ok:
+            last_acked = op
+    strict: List[Optional[Dict[str, Any]]] = []
+    if last_acked is None:
+        strict.append(None)
+        tail = writes
+    else:
+        strict.append(_write_value(last_acked))
+        tail = [op for op in writes if op.op_id > last_acked.op_id]
+    for op in tail:
+        if not op.ok:
+            value = _write_value(op)
+            if value not in strict:
+                strict.append(value)
+    ever: List[Optional[Dict[str, Any]]] = [None]
+    for op in writes:
+        value = _write_value(op)
+        if value not in ever:
+            ever.append(value)
+    return strict, ever, last_acked
+
+
+# ----------------------------------------------------------------------
+# history checkers
+# ----------------------------------------------------------------------
+def check_version_monotonicity(history: History) -> List[Violation]:
+    """Acknowledged put versions of one key strictly increase in
+    client (real-time) order."""
+    violations: List[Violation] = []
+    last: Dict[str, Tuple[int, int]] = {}  # key -> (version, op_id)
+    for op in history.ops:
+        if op.kind != "put" or not op.ok or op.version is None or op.key is None:
+            continue
+        prev = last.get(op.key)
+        if prev is not None and op.version <= prev[0]:
+            violations.append(Violation(
+                checker="version_monotonicity",
+                key=op.key,
+                op_ids=(prev[1], op.op_id),
+                detail=(f"acked version {op.version} does not exceed "
+                        f"earlier acked version {prev[0]}"),
+            ))
+        if prev is None or op.version > prev[0]:
+            last[op.key] = (op.version, op.op_id)
+    return violations
+
+
+def _read_results(op: OpRecord):
+    """Normalise a read record to (key, observed value) pairs."""
+    if op.kind == "get":
+        yield op.key, op.result
+    elif op.kind == "multi_get":
+        result = op.result if isinstance(op.result, dict) else {}
+        for key in op.keys:
+            yield key, result.get(key)
+
+
+def check_read_your_writes(history: History, settle: float = 10.0) -> List[Violation]:
+    """Successful reads see the latest acknowledged write.
+
+    Exemptions, per the module docstring: reads overlapping a fault
+    window (widened by ``settle``), and reads served by a different
+    coordinator than the last acknowledged write (cross-coordinator
+    reads are only eventually consistent). Fabricated values — matching
+    no write ever issued — are flagged unconditionally."""
+    violations: List[Violation] = []
+    for op in history.ops:
+        if op.kind not in ("get", "multi_get") or not op.ok or op.final:
+            continue
+        for key, observed in _read_results(op):
+            if key is None:
+                continue
+            strict, ever, last_acked = acceptable_values(history, key, op.op_id)
+            if observed in strict:
+                continue
+            if observed not in ever:
+                violations.append(Violation(
+                    checker="read_your_writes",
+                    key=key,
+                    op_ids=(op.op_id,),
+                    detail="read returned a value no write ever produced",
+                    extra={"observed": observed},
+                ))
+                continue
+            if history.in_fault_window(op.invoked_at, op.completed_at, margin=settle):
+                continue
+            if (last_acked is None or op.coordinator is None
+                    or last_acked.coordinator is None
+                    or op.coordinator != last_acked.coordinator):
+                continue
+            violations.append(Violation(
+                checker="read_your_writes",
+                key=key,
+                op_ids=(op.op_id,) + ((last_acked.op_id,) if last_acked else ()),
+                detail=("stale read through the acknowledging coordinator "
+                        "outside any fault window"),
+                extra={"observed": observed, "expected_one_of": strict},
+            ))
+    return violations
+
+
+def check_no_lost_writes(history: History) -> List[Violation]:
+    """After quiesce + heal, every acknowledged write is readable.
+
+    Evaluated over the ``final`` verification reads. Keys recorded as
+    extinct (E6a carve-out) are skipped; everything else must return a
+    strictly acceptable value — a read error or a stale/missing value
+    here means an acknowledged write was lost."""
+    violations: List[Violation] = []
+    for op in history.ops:
+        if not op.final or op.kind not in ("get", "multi_get"):
+            continue
+        for key, observed in _read_results(op):
+            if key is None or key in history.extinct_keys:
+                continue
+            strict, _, last_acked = acceptable_values(history, key, op.op_id)
+            if not op.ok:
+                if last_acked is not None and last_acked.kind == "put":
+                    violations.append(Violation(
+                        checker="no_lost_writes",
+                        key=key,
+                        op_ids=(op.op_id, last_acked.op_id),
+                        detail=f"final read failed ({op.error}) for an acked write",
+                    ))
+                continue
+            if observed not in strict:
+                op_ids = (op.op_id,) + ((last_acked.op_id,) if last_acked else ())
+                violations.append(Violation(
+                    checker="no_lost_writes",
+                    key=key,
+                    op_ids=op_ids,
+                    detail="final read does not reflect the last acked write",
+                    extra={"observed": observed, "expected_one_of": strict},
+                ))
+    return violations
+
+
+def check_scan_precision(history: History, epsilon: float = 1e-9) -> List[Violation]:
+    """Scan results never contain rows outside the requested range.
+
+    (Recall is best-effort under faults; precision is not negotiable —
+    a row outside [low, high] means index placement routed garbage.)"""
+    violations: List[Violation] = []
+    for op in history.ops:
+        if op.kind != "scan" or not op.ok or not isinstance(op.result, list):
+            continue
+        for row in op.result:
+            if not isinstance(row, dict) or op.attribute is None:
+                continue
+            value = row.get(op.attribute)
+            if not isinstance(value, (int, float)):
+                continue
+            if value < op.low - epsilon or value > op.high + epsilon:
+                violations.append(Violation(
+                    checker="scan_precision",
+                    key=row.get("_key"),
+                    op_ids=(op.op_id,),
+                    detail=(f"scan [{op.low}, {op.high}] on {op.attribute!r} "
+                            f"returned out-of-range value {value}"),
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# cluster-state checkers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaView:
+    """One replica's view of one key at snapshot time."""
+
+    node: int
+    up: bool
+    responsible: bool  # the node's primary sieve admits the key
+    version: int  # packed
+    tombstone: bool
+    record: str  # canonical JSON, for cheap equality
+
+
+def snapshot_cluster(dd: DataDroplets) -> Dict[str, List[ReplicaView]]:
+    """Per-key replica views across all non-DEAD storage nodes.
+
+    DOWN nodes are included (their durable memtable survives and counts
+    for the replica floor); DEAD nodes hold nothing by definition."""
+    snapshot: Dict[str, List[ReplicaView]] = {}
+    for node in dd.storage_nodes:
+        if node.state is NodeState.DEAD:
+            continue
+        memtable = node.durable.get("memtable")
+        if memtable is None:
+            continue
+        storage = node.protocol("storage") if node.is_up else None
+        for item in memtable.all_items():
+            responsible = bool(
+                storage is not None
+                and storage.primary_sieve.admits(item.key, item.record))
+            snapshot.setdefault(item.key, []).append(ReplicaView(
+                node=node.node_id.value,
+                up=node.is_up,
+                responsible=responsible,
+                version=item.version.packed(),
+                tombstone=item.tombstone,
+                record=json.dumps(item.record, sort_keys=True),
+            ))
+    return snapshot
+
+
+def check_replica_floor(snapshot: Mapping[str, Sequence[ReplicaView]],
+                        history: History, floor: int = 1) -> List[Violation]:
+    """Every key with an acknowledged put retains >= ``floor`` replicas
+    at (or beyond) the acked version — r-survivability after quiesce.
+
+    Keys whose last acknowledged write is a delete are exempt (absence
+    is correct), as are extinct keys (E6a carve-out)."""
+    violations: List[Violation] = []
+    for key in {op.key for op in history.ops
+                if op.kind == "put" and op.ok and op.key is not None}:
+        if key in history.extinct_keys:
+            continue
+        _, _, last_acked = acceptable_values(history, key, before_op_id=1 << 62)
+        if last_acked is None or last_acked.kind != "put" or last_acked.version is None:
+            continue
+        views = snapshot.get(key, ())
+        holders = [v for v in views if v.version >= last_acked.version]
+        if len(holders) < floor:
+            violations.append(Violation(
+                checker="replica_floor",
+                key=key,
+                op_ids=(last_acked.op_id,),
+                detail=(f"{len(holders)} replica(s) at version >= "
+                        f"{last_acked.version}, floor is {floor}"),
+                extra={"holders": [v.node for v in holders],
+                       "all_copies": len(views)},
+            ))
+    return violations
+
+
+def check_convergence(snapshot: Mapping[str, Sequence[ReplicaView]],
+                      history: Optional[History] = None) -> List[Violation]:
+    """After the heal window, UP *responsible* replicas of a key are
+    byte-identical (version, tombstone and record all agree).
+
+    Restricted to replicas whose primary sieve admits the key: stale
+    extra copies parked on non-responsible nodes are garbage awaiting
+    collection, not divergence. Extinct keys are skipped."""
+    extinct: Set[str] = set(history.extinct_keys) if history is not None else set()
+    violations: List[Violation] = []
+    for key, views in snapshot.items():
+        if key in extinct:
+            continue
+        live = [v for v in views if v.up and v.responsible]
+        if len(live) < 2:
+            continue
+        states = {(v.version, v.tombstone, v.record) for v in live}
+        if len(states) > 1:
+            violations.append(Violation(
+                checker="convergence",
+                key=key,
+                op_ids=(),
+                detail=f"{len(live)} live replicas hold {len(states)} distinct states",
+                extra={"versions": sorted({v.version for v in live}),
+                       "nodes": sorted(v.node for v in live)},
+            ))
+    return violations

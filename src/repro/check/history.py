@@ -1,0 +1,241 @@
+"""Operation history recording.
+
+A :class:`HistoryRecorder` wraps the DataDroplets facade with a
+:class:`RecordingStore` that logs one :class:`OpRecord` per client call
+— puts, gets, deletes, multi-gets and scans — with invocation and
+completion *virtual* times, the returned value/version, and the
+soft-state coordinator that served the final attempt (via the facade's
+:meth:`~repro.core.datadroplets.DataDroplets.set_op_observer` hook).
+
+Failed operations are recorded too (``ok=False`` with the error class
+name) and swallowed: a checking campaign wants the history, not the
+exception. A timed-out or unavailable *write* is therefore
+*indeterminate* in the Jepsen sense — it may or may not have taken
+effect — and the checkers treat it as such.
+
+The recorded history also carries the campaign's *fault windows* (when
+the nemesis had an active fault) and *extinct keys* (keys whose entire
+replica set was wiped by one atomic permanent-failure action — the
+unavoidable-loss carve-out of experiment E6a). Both are written by the
+:class:`~repro.check.nemesis.Nemesis` driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import DataDropletsError
+from repro.core.datadroplets import DataDroplets, OpTrace
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed (or failed) client operation.
+
+    ``version`` is the packed version a put was acknowledged with;
+    ``coordinator`` the node value of the soft-state coordinator that
+    served the final attempt (None when no attempt got through).
+    ``final`` marks the post-heal verification reads the lost-write
+    checker keys on.
+    """
+
+    op_id: int
+    kind: str  # "put" | "get" | "delete" | "multi_get" | "scan"
+    invoked_at: float
+    completed_at: float
+    ok: bool
+    key: Optional[str] = None
+    keys: Tuple[str, ...] = ()
+    value: Optional[Dict[str, Any]] = None  # the record written (puts)
+    result: Any = None  # what the client saw back
+    version: Optional[int] = None  # packed version acked to a put
+    coordinator: Optional[int] = None
+    error: Optional[str] = None
+    final: bool = False
+    attribute: Optional[str] = None  # scans
+    low: float = 0.0
+    high: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "op_id": self.op_id,
+            "kind": self.kind,
+            "invoked_at": self.invoked_at,
+            "completed_at": self.completed_at,
+            "ok": self.ok,
+        }
+        for name in ("key", "value", "result", "version", "coordinator", "error",
+                     "attribute"):
+            v = getattr(self, name)
+            if v is not None:
+                out[name] = v
+        if self.keys:
+            out["keys"] = list(self.keys)
+        if self.final:
+            out["final"] = True
+        if self.kind == "scan":
+            out["low"], out["high"] = self.low, self.high
+        return out
+
+
+@dataclass
+class History:
+    """Everything a checking run learned, in op-id order."""
+
+    ops: List[OpRecord] = field(default_factory=list)
+    #: [start, end] virtual-time intervals with an active nemesis fault.
+    fault_windows: List[Tuple[float, float]] = field(default_factory=list)
+    #: key -> info dict for keys wiped by one atomic permanent failure
+    #: (the E6a carve-out: loss was unavoidable, not a repair failure).
+    extinct_keys: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def add(self, record: OpRecord) -> None:
+        self.ops.append(record)
+
+    def writes_for(self, key: str) -> List[OpRecord]:
+        """All puts/deletes touching ``key``, in op-id order."""
+        return [op for op in self.ops
+                if op.kind in ("put", "delete") and op.key == key]
+
+    def keys_touched(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for op in self.ops:
+            if op.key is not None:
+                seen.setdefault(op.key)
+            for k in op.keys:
+                seen.setdefault(k)
+        return list(seen)
+
+    def in_fault_window(self, start: float, end: float, margin: float = 0.0) -> bool:
+        """Whether [start, end] overlaps any fault window (each widened
+        by ``margin`` on the trailing edge, to cover settle time)."""
+        for lo, hi in self.fault_windows:
+            if start <= hi + margin and end >= lo:
+                return True
+        return False
+
+    def to_dicts(self) -> Dict[str, Any]:
+        return {
+            "ops": [op.to_dict() for op in self.ops],
+            "fault_windows": [list(w) for w in self.fault_windows],
+            "extinct_keys": dict(self.extinct_keys),
+        }
+
+
+class HistoryRecorder:
+    """Builds a :class:`History` from live client traffic.
+
+    Usage::
+
+        recorder = HistoryRecorder()
+        store = recorder.attach(dd)      # facade-compatible wrapper
+        store.put("k", {"v": 1})         # recorded
+        recorder.history.ops             # -> [OpRecord(...)]
+    """
+
+    def __init__(self) -> None:
+        self.history = History()
+        self._op_ids = itertools.count()
+        self._last_trace: Optional[OpTrace] = None
+
+    def attach(self, dd: DataDroplets) -> "RecordingStore":
+        dd.set_op_observer(self._on_trace)
+        return RecordingStore(dd, self)
+
+    # ------------------------------------------------------------------
+    def _on_trace(self, trace: OpTrace) -> None:
+        self._last_trace = trace
+
+    def take_trace(self) -> Optional[OpTrace]:
+        trace, self._last_trace = self._last_trace, None
+        return trace
+
+    def next_op_id(self) -> int:
+        return next(self._op_ids)
+
+
+def _packed(version_view: Optional[Dict[str, int]]) -> Optional[int]:
+    """Pack the coordinator's ``{'sequence', 'coordinator'}`` reply."""
+    if not isinstance(version_view, dict):
+        return None
+    from repro.store.tuples import Version
+
+    try:
+        return Version(version_view["sequence"], version_view["coordinator"]).packed()
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class RecordingStore:
+    """Facade-compatible wrapper that records every operation.
+
+    Exposes the same ``put/get/delete/multi_get/scan`` surface as
+    :class:`~repro.core.datadroplets.DataDroplets`, so it drops into
+    :func:`repro.workloads.generators.apply_operation` unchanged. Client
+    errors are recorded (``ok=False``) and swallowed — failed reads
+    return ``None``/empty."""
+
+    def __init__(self, dd: DataDroplets, recorder: HistoryRecorder):
+        self.dd = dd
+        self._recorder = recorder
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, call, *, key: Optional[str] = None,
+                keys: Sequence[str] = (), value: Optional[Dict[str, Any]] = None,
+                final: bool = False, attribute: Optional[str] = None,
+                low: float = 0.0, high: float = 0.0):
+        op_id = self._recorder.next_op_id()
+        invoked_at = self.dd.sim.now
+        ok, error, result = True, None, None
+        try:
+            result = call()
+        except DataDropletsError as exc:
+            ok, error = False, type(exc).__name__
+        trace = self._recorder.take_trace()
+        self._recorder.history.add(OpRecord(
+            op_id=op_id,
+            kind=kind,
+            invoked_at=invoked_at,
+            completed_at=self.dd.sim.now,
+            ok=ok,
+            key=key,
+            keys=tuple(keys),
+            value=dict(value) if value is not None else None,
+            result=result,
+            version=_packed(result) if kind == "put" and ok else None,
+            coordinator=trace.coordinator if trace is not None else None,
+            error=error,
+            final=final,
+            attribute=attribute,
+            low=low,
+            high=high,
+        ))
+        return result
+
+    # -- facade surface ------------------------------------------------
+    def put(self, key: str, record: Dict[str, Any]):
+        return self._record("put", lambda: self.dd.put(key, record),
+                            key=key, value=record)
+
+    def get(self, key: str, final: bool = False):
+        return self._record("get", lambda: self.dd.get(key), key=key, final=final)
+
+    def delete(self, key: str):
+        return self._record("delete", lambda: self.dd.delete(key), key=key)
+
+    def multi_get(self, keys: Sequence[str]):
+        result = self._record("multi_get", lambda: self.dd.multi_get(list(keys)),
+                              keys=tuple(keys))
+        return result if result is not None else {}
+
+    def scan(self, attribute: str, low: float, high: float):
+        result = self._record("scan", lambda: self.dd.scan(attribute, low, high),
+                              attribute=attribute, low=low, high=high)
+        return result if result is not None else []
+
+    def aggregate(self, attribute: str, kind: str = "avg"):
+        # Aggregates are statistical, not per-key state: pass through
+        # unrecorded rather than pollute the history.
+        return self.dd.aggregate(attribute, kind)

@@ -256,6 +256,44 @@ def _bench_e16(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check.explorer import explore, replay
+
+    if args.replay is not None:
+        with open(args.replay) as fh:
+            artifact = json.load(fh)
+        reproduced = replay(artifact, progress=print)
+        print("replay:", "all failures reproduced" if reproduced
+              else "FAILED to reproduce")
+        return 0 if reproduced else 1
+
+    report = explore(
+        args.seeds,
+        seed_base=args.seed_base,
+        quick=args.quick,
+        break_repair=args.break_repair,
+        floor=args.floor,
+        shrink=not args.no_shrink,
+        progress=print,
+    )
+    if args.artifact is not None:
+        with open(args.artifact, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"artifact written to {args.artifact}")
+    failures = report["failures"]
+    passed = args.seeds - len(failures)
+    print(f"check: {passed}/{args.seeds} cases clean, {len(failures)} failing")
+    if args.expect_violation:
+        if failures:
+            print("expected violation confirmed")
+            return 0
+        print("FAILED: no violation produced (checkers may be broken)")
+        return 1
+    return 0 if not failures else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -316,6 +354,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero unless the optimised path beats the "
                             "baseline >=2x with identical protocol behaviour")
     bench.set_defaults(fn=_cmd_bench)
+
+    check = sub.add_parser(
+        "check", help="Jepsen-style fault-injection checking campaign "
+                      "(fuzzed nemesis schedules + history checkers)")
+    check.add_argument("--seeds", type=int, default=10,
+                       help="number of (seed, schedule) cases to fuzz")
+    check.add_argument("--seed-base", type=int, default=0,
+                       help="first seed of the range")
+    check.add_argument("--quick", action="store_true",
+                       help="small deployment, no indexes (CI smoke profile)")
+    check.add_argument("--break-repair", action="store_true",
+                       help="positive control: disable redundancy repair and "
+                            "drip permanent kills — violations expected")
+    check.add_argument("--expect-violation", action="store_true",
+                       help="exit non-zero unless at least one case FAILS "
+                            "(used with --break-repair)")
+    check.add_argument("--floor", type=int, default=1,
+                       help="replica-count floor asserted after quiesce")
+    check.add_argument("--no-shrink", action="store_true",
+                       help="skip greedy schedule shrinking on failures")
+    check.add_argument("--artifact", default=None, metavar="PATH",
+                       help="write the JSON campaign report here")
+    check.add_argument("--replay", default=None, metavar="PATH",
+                       help="re-run the failures of a saved artifact instead "
+                            "of fuzzing (exit 0 iff all reproduce)")
+    check.set_defaults(fn=_cmd_check)
 
     return parser
 

@@ -110,10 +110,17 @@ class Arc:
         return self.width() / KEYSPACE_SIZE
 
     def split(self, parts: int) -> List["Arc"]:
-        """Split the arc into ``parts`` near-equal consecutive sub-arcs."""
+        """Split the arc into ``min(parts, width)`` near-equal consecutive
+        sub-arcs.
+
+        Clamping to the width matters: asking for more parts than there
+        are positions would repeat a bound, and a repeated bound makes a
+        degenerate ``start == end`` sub-arc — which by convention covers
+        the *whole ring*, silently multiplying membership."""
         if parts <= 0:
             raise ValueError("parts must be positive")
         width = self.width()
+        parts = min(parts, width)
         bounds = [(self.start + (width * i) // parts) % KEYSPACE_SIZE for i in range(parts + 1)]
         if self.start == self.end:
             bounds[-1] = self.start

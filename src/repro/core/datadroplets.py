@@ -20,7 +20,8 @@ clusters), ``dd.churn()``, ``dd.metrics`` are all public on purpose.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import DataDropletsError, TimeoutError_
 from repro.common.ids import NodeId
@@ -64,6 +65,31 @@ class UnavailableError(DataDropletsError):
     """The operation failed at the coordinator (e.g. data unreachable)."""
 
 
+@dataclass(frozen=True)
+class OpTrace:
+    """Client-path telemetry for one facade operation.
+
+    Emitted to the observer installed with
+    :meth:`DataDroplets.set_op_observer` after every client call —
+    whether it succeeded or raised. ``attempts`` lists one
+    ``(request_id, coordinator_node_value)`` pair per (re)send, so the
+    history checkers can tell which soft-state coordinator actually
+    served the operation and whether coordination moved mid-call."""
+
+    kind: str
+    routing_key: str
+    attempts: Tuple[Tuple[str, int], ...]
+    ok: bool
+    error: Optional[str]
+    invoked_at: float
+    completed_at: float
+
+    @property
+    def coordinator(self) -> Optional[int]:
+        """Node value of the coordinator of the final attempt."""
+        return self.attempts[-1][1] if self.attempts else None
+
+
 class DataDroplets:
     """The full system: build, start, operate (see module docstring)."""
 
@@ -91,6 +117,15 @@ class DataDroplets:
             lambda node: [ClientProtocol()], label="client", boot=False
         )
         self._started = False
+        self._op_observer: Optional[Callable[[OpTrace], None]] = None
+
+    def set_op_observer(self, observer: Optional[Callable[[OpTrace], None]]) -> None:
+        """Install (or clear) a per-operation telemetry hook.
+
+        The observer receives an :class:`OpTrace` after every client
+        call, including failed ones — the history recorder of
+        :mod:`repro.check` hangs off this."""
+        self._op_observer = observer
 
     # ------------------------------------------------------------------
     # assembly
@@ -196,16 +231,16 @@ class DataDroplets:
     # ------------------------------------------------------------------
     def put(self, key: str, record: Dict[str, Any]) -> Dict[str, int]:
         """Write a record; returns the assigned version."""
-        reply = self._call(key, lambda rid: ClientPut(rid, key, dict(record)))
+        reply = self._call(key, lambda rid: ClientPut(rid, key, dict(record)), kind="put")
         return reply.value
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Read a record (None if absent or deleted)."""
-        reply = self._call(key, lambda rid: ClientGet(rid, key))
+        reply = self._call(key, lambda rid: ClientGet(rid, key), kind="get")
         return reply.value
 
     def delete(self, key: str) -> None:
-        self._call(key, lambda rid: ClientDelete(rid, key))
+        self._call(key, lambda rid: ClientDelete(rid, key), kind="delete")
 
     def multi_get(self, keys: Sequence[str]) -> Dict[str, Optional[Dict[str, Any]]]:
         """Read several records in one coordinator round-trip.
@@ -215,49 +250,73 @@ class DataDroplets:
         operation correlation-aware placement accelerates (E12)."""
         if not keys:
             return {}
-        reply = self._call(keys[0], lambda rid: ClientMultiGet(rid, tuple(keys)))
+        reply = self._call(keys[0], lambda rid: ClientMultiGet(rid, tuple(keys)), kind="multi_get")
         return reply.value
 
     def scan(self, attribute: str, low: float, high: float) -> List[Dict[str, Any]]:
         """Range scan over an indexed attribute (rows sorted by value)."""
         reply = self._call(
-            f"scan:{attribute}", lambda rid: ClientScan(rid, attribute, low, high)
+            f"scan:{attribute}", lambda rid: ClientScan(rid, attribute, low, high), kind="scan"
         )
         return reply.value
 
     def aggregate(self, attribute: str, kind: str = "avg") -> float:
         """Global aggregate (avg | sum | count | max | min)."""
         reply = self._call(
-            f"agg:{attribute}:{kind}", lambda rid: ClientAggregate(rid, attribute, kind)
+            f"agg:{attribute}:{kind}", lambda rid: ClientAggregate(rid, attribute, kind),
+            kind="aggregate",
         )
         return reply.value
 
     # ------------------------------------------------------------------
-    def _call(self, routing_key: str, build) -> ClientReply:
+    def _call(self, routing_key: str, build, kind: str = "op") -> ClientReply:
         if not self._started:
             raise DataDropletsError("call start() before issuing operations")
         # Requests or replies can be lost on a lossy network; clients
         # retry with a fresh request id (operations are idempotent at
         # the coordinator: re-puts take the next version, reads are pure).
         attempts = 1 + max(0, self.config.client_retries)
+        invoked_at = self.sim.now
+        trace_attempts: List[Tuple[str, int]] = []
         last_error: Exception = UnavailableError("no live soft-state coordinator")
-        for _ in range(attempts):
-            self._refresh_ring()
-            coordinator = self.ring.coordinator_for(routing_key)
-            if coordinator is None:
-                raise UnavailableError("no live soft-state coordinator")
-            request_id = f"req-{next(self._request_seq)}"
-            message = build(request_id)
-            self.sim.call_soon(lambda m=message, c=coordinator: self.client_node.send(c, "soft", m))
-            try:
-                reply = self._await_reply(request_id)
-            except TimeoutError_ as exc:
-                last_error = exc
-                continue
-            if not reply.ok:
-                raise UnavailableError(reply.error or "operation failed")
-            return reply
-        raise last_error
+        try:
+            for _ in range(attempts):
+                self._refresh_ring()
+                coordinator = self.ring.coordinator_for(routing_key)
+                if coordinator is None:
+                    raise UnavailableError("no live soft-state coordinator")
+                request_id = f"req-{next(self._request_seq)}"
+                trace_attempts.append((request_id, coordinator.value))
+                message = build(request_id)
+                self.sim.call_soon(lambda m=message, c=coordinator: self.client_node.send(c, "soft", m))
+                try:
+                    reply = self._await_reply(request_id)
+                except TimeoutError_ as exc:
+                    last_error = exc
+                    continue
+                if not reply.ok:
+                    raise UnavailableError(reply.error or "operation failed")
+                self._trace(kind, routing_key, trace_attempts, invoked_at, ok=True, error=None)
+                return reply
+            raise last_error
+        except DataDropletsError as exc:
+            self._trace(kind, routing_key, trace_attempts, invoked_at,
+                        ok=False, error=type(exc).__name__)
+            raise
+
+    def _trace(self, kind: str, routing_key: str, attempts: List[Tuple[str, int]],
+               invoked_at: float, ok: bool, error: Optional[str]) -> None:
+        if self._op_observer is None:
+            return
+        self._op_observer(OpTrace(
+            kind=kind,
+            routing_key=routing_key,
+            attempts=tuple(attempts),
+            ok=ok,
+            error=error,
+            invoked_at=invoked_at,
+            completed_at=self.sim.now,
+        ))
 
     def _await_reply(self, request_id: str) -> ClientReply:
         client: ClientProtocol = self.client_node.protocol("client")  # type: ignore[assignment]

@@ -86,9 +86,28 @@ class CyclonProtocol(PeerSampler):
 
     # -- shuffling ---------------------------------------------------------
     def _shuffle(self) -> None:
-        self.host.durable["membership:address-cache"] = self.view.peers()
+        peers = self.view.peers()
+        if peers:
+            # Keep the freshest view_size addresses: current view first,
+            # then what the cache already had. Never overwrite with a
+            # *drained* view — while a node is cut off from the network,
+            # every shuffle removes its target and nothing merges back,
+            # and flushing the cache along the way would leave nothing
+            # to re-join from.
+            cached = self.host.durable.get("membership:address-cache", [])
+            self.host.durable["membership:address-cache"] = list(
+                dict.fromkeys(list(peers) + list(cached)))[: self.view_size]
         self.view.increase_ages()
         target = self.view.oldest()
+        if target is None:
+            # The view drained (long isolation, not a reboot). Re-join
+            # from the address cache exactly like on_start does —
+            # otherwise the node stays disconnected forever even after
+            # the network heals, since shuffles are view-driven and the
+            # rest of the overlay has long since aged this node out.
+            for peer in self.host.durable.get("membership:address-cache", []):
+                self.view.add(NodeDescriptor(peer, 0))
+            target = self.view.oldest()
         if target is None:
             return
         # Ship (l - 1) random entries plus a fresh descriptor of ourselves.

@@ -20,7 +20,7 @@ models expose exactly those knobs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.sim.cluster import Cluster
 from repro.sim.node import Node, NodeState, StackFactory
@@ -41,6 +41,10 @@ class PoissonChurn:
         replacement_factory: if given, every permanent death immediately
             triggers a fresh node join built with this factory, keeping
             the population size stationary.
+        on_crash: observation hook called as ``on_crash(victim, permanent)``
+            *before* the crash is applied, so observers (the nemesis'
+            replica-extinction tracker) can still read the victim's
+            durable state — a permanent crash destroys it.
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class PoissonChurn:
         mean_downtime: float = 30.0,
         permanent_fraction: float = 0.0,
         replacement_factory: Optional[StackFactory] = None,
+        on_crash: Optional[Callable[[Node, bool], None]] = None,
     ):
         if event_rate <= 0:
             raise ValueError("event_rate must be positive")
@@ -64,6 +69,7 @@ class PoissonChurn:
         self.mean_downtime = mean_downtime
         self.permanent_fraction = permanent_fraction
         self.replacement_factory = replacement_factory
+        self.on_crash = on_crash
         self._rng = sim.rng("churn")
         self._running = False
         self._next: Optional[EventHandle] = None
@@ -102,6 +108,8 @@ class PoissonChurn:
 
     def _crash(self, victim: Node) -> None:
         permanent = self._rng.random() < self.permanent_fraction
+        if self.on_crash is not None:
+            self.on_crash(victim, permanent)
         victim.crash(permanent=permanent)
         self.crashes += 1
         self.cluster.metrics.counter("churn.crashes").inc()

@@ -6,6 +6,12 @@ latency, loss and partitions. Delivery is point-to-point and unordered
 between the same pair may be reordered if their sampled latencies cross.
 That matches the fault model the paper's epidemic protocols are designed
 for — they must tolerate loss and reordering natively.
+
+Beyond the baseline latency/loss model, the network exposes adversarial
+fault-injection knobs (used by the :mod:`repro.check` nemesis): message
+duplication, forced reordering via extra delay, a flat added delay, and
+a drop filter for targeted blackholing. All of them default to off and
+cost nothing on the hot path when unused.
 """
 
 from __future__ import annotations
@@ -116,6 +122,16 @@ class Network:
         # Optional reachability predicate for partitions: return False to
         # block (src, dst). None means fully connected.
         self._reachable: Optional[Callable[[NodeId, NodeId], bool]] = None
+        # -- fault-injection knobs (all off by default) -----------------
+        #: probability each accepted message is delivered twice
+        self.duplicate_rate: float = 0.0
+        #: probability a message gets ``reorder_delay`` extra latency
+        self.reorder_rate: float = 0.0
+        self.reorder_delay: float = 0.25
+        #: flat extra one-way delay added to every message
+        self.extra_delay: float = 0.0
+        #: targeted drop predicate: return True to blackhole the message
+        self._drop_filter: Optional[Callable[[NodeId, NodeId, str, Message], bool]] = None
         # Interned counter handles: the send path runs once per message,
         # so it must not rebuild f-string keys or walk the registry dict.
         m = self.metrics
@@ -125,6 +141,9 @@ class Network:
         self._dropped_partition = m.counter("net.dropped.partition")
         self._dropped_loss = m.counter("net.dropped.loss")
         self._dropped_down = m.counter("net.dropped.node_down")
+        self._dropped_injected = m.counter("net.dropped.injected")
+        self._injected_duplicates = m.counter("net.injected.duplicates")
+        self._injected_reordered = m.counter("net.injected.reordered")
         self._proto_handles: Dict[str, Tuple[Counter, Counter]] = {}
         self._category_handles: Dict[Tuple[str, str], Tuple[Counter, Counter]] = {}
 
@@ -141,8 +160,25 @@ class Network:
         return self._nodes.get(node_id)
 
     def set_partition(self, reachable: Optional[Callable[[NodeId, NodeId], bool]]) -> None:
-        """Install (or clear, with None) a reachability predicate."""
+        """Install (or clear, with None) a reachability predicate.
+
+        The predicate is checked at *send* time and again at *delivery*
+        time, so messages already in flight when the partition starts are
+        dropped too — cutting a link loses the packets on the wire, not
+        just future sends. Symmetrically, messages sent while partitioned
+        are gone for good; healing does not resurrect them.
+        """
         self._reachable = reachable
+
+    def set_drop_filter(
+        self, drop: Optional[Callable[[NodeId, NodeId, str, Message], bool]]
+    ) -> None:
+        """Install (or clear, with None) a targeted drop predicate.
+
+        Called per send as ``drop(src, dst, protocol, message)``; True
+        blackholes the message (counted under ``net.dropped.injected``).
+        Used by the nemesis for node isolation and selective loss."""
+        self._drop_filter = drop
 
     # ------------------------------------------------------------------
     def protocol_counters(self, protocol: str) -> Tuple[Counter, Counter]:
@@ -197,10 +233,24 @@ class Network:
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self._dropped_loss.inc()
             return
-        delay = self.latency.sample(self._rng, src, dst)
+        if self._drop_filter is not None and self._drop_filter(src, dst, protocol, message):
+            self._dropped_injected.inc()
+            return
+        delay = self.latency.sample(self._rng, src, dst) + self.extra_delay
+        if self.reorder_rate > 0 and self._rng.random() < self.reorder_rate:
+            delay += self.reorder_delay
+            self._injected_reordered.inc()
         self.sim.schedule_call(delay, self._deliver, src, dst, protocol, message)
+        if self.duplicate_rate > 0 and self._rng.random() < self.duplicate_rate:
+            extra = self.latency.sample(self._rng, src, dst) + self.extra_delay
+            self._injected_duplicates.inc()
+            self.sim.schedule_call(extra, self._deliver, src, dst, protocol, message)
 
     def _deliver(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
+        if self._reachable is not None and not self._reachable(src, dst):
+            # The partition started while this message was in flight.
+            self._dropped_partition.inc()
+            return
         node = self._nodes.get(dst)
         if node is None or not node.is_up:
             self._dropped_down.inc()

@@ -97,6 +97,7 @@ class SoftStateConfig:
     cache_capacity: int = 10_000
     hint_capacity: int = 8  # remembered storage nodes per key
     auto_rebuild: bool = False  # rebuild metadata on every (re)boot
+    fallback_flush_period: float = 4.0  # retry dissemination of parked writes
 
     def __post_init__(self) -> None:
         if self.ack_quorum <= 0:
@@ -200,6 +201,11 @@ class SoftStateProtocol(Protocol):
         self._scans = {}
         self._aggregates = {}
         self.rebuild_complete = False
+        # Parked fallback writes (acked to the client but never stored in
+        # the persistent layer) are retried until a storage node acks —
+        # without this loop an acknowledged write could sit in the
+        # coordinator's durable store forever and never gain redundancy.
+        self.every(self.config.fallback_flush_period, self._flush_fallback)
         if self.config.auto_rebuild:
             self.rebuild_metadata()
 
@@ -334,8 +340,27 @@ class SoftStateProtocol(Protocol):
             self._reply(state.client, state.request_id, ok=True, value=self._version_view(state.item))
         self._writes.pop((state.item.key, state.item.version.packed()), None)
 
+    def _flush_fallback(self) -> None:
+        """Retry dissemination of parked writes (see _write_failed)."""
+        fallback = self.host.durable.get("soft-fallback")
+        if not fallback:
+            return
+        entry = self._storage_entry()
+        if entry is None:
+            return
+        for item in list(fallback.values()):
+            self._to_storage(entry, StoreWrite(item, reply_to=self.host.node_id))
+            self.host.metrics.counter("soft.fallback_flush").inc()
+
     def _handle_store_ack(self, ack: StoreAck) -> None:
         self._add_hint(ack.key, ack.stored_at)
+        fallback = self.host.durable.get("soft-fallback")
+        if fallback:
+            parked = fallback.get(ack.key)
+            if parked is not None and parked.version.packed() <= ack.version.packed():
+                # The persistent layer now holds this (or a newer) version:
+                # the parked copy is no longer the only replica.
+                del fallback[ack.key]
         state = self._writes.get((ack.key, ack.version.packed()))
         if state is None:
             return

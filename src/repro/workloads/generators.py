@@ -125,9 +125,11 @@ class MixRatios:
     update_fraction: float = 0.2
     scan_fraction: float = 0.0
     multiget_fraction: float = 0.0
+    delete_fraction: float = 0.0
 
     def __post_init__(self) -> None:
-        total = self.update_fraction + self.scan_fraction + self.multiget_fraction
+        total = (self.update_fraction + self.scan_fraction
+                 + self.multiget_fraction + self.delete_fraction)
         if not 0 <= total <= 1:
             raise ValueError("fractions must sum to at most 1")
 
@@ -184,6 +186,10 @@ class OperationStream:
             updated = dict(record, rev=self._update_counter)
             return Operation("put", key=key, record=updated)
         roll -= mix.update_fraction
+        if roll < mix.delete_fraction:
+            key, _ = self.dataset[self._pick()]
+            return Operation("delete", key=key)
+        roll -= mix.delete_fraction
         if roll < mix.scan_fraction and self.scan_attribute is not None:
             start = self.rng.uniform(self.scan_lo, max(self.scan_lo, self.scan_hi - self.scan_span))
             return Operation(

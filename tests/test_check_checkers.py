@@ -1,0 +1,224 @@
+"""Each checker must both catch its violation and accept legal histories.
+
+Every checker gets at least one positive (violation detected) and one
+negative (clean history passes) test, built from synthetic OpRecords so
+the semantics under test are explicit — indeterminate writes, fault
+windows, coordinator identity, and the E6a extinction carve-out.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.check.checkers import (
+    ReplicaView,
+    acceptable_values,
+    check_convergence,
+    check_no_lost_writes,
+    check_read_your_writes,
+    check_replica_floor,
+    check_scan_precision,
+    check_version_monotonicity,
+)
+from repro.check.history import History, OpRecord
+
+
+def put(op_id, key, value, *, ok=True, version=None, coordinator=1, at=None):
+    t = float(op_id) if at is None else at
+    return OpRecord(op_id, "put", t, t + 0.5, ok, key=key, value=value,
+                    version=version if version is not None else op_id + 1,
+                    coordinator=coordinator)
+
+
+def get(op_id, key, result, *, ok=True, final=False, coordinator=1, at=None,
+        error=None):
+    t = float(op_id) if at is None else at
+    return OpRecord(op_id, "get", t, t + 0.5, ok, key=key, result=result,
+                    coordinator=coordinator, final=final, error=error)
+
+
+def history(*ops, windows=(), extinct=()):
+    return History(ops=list(ops), fault_windows=list(windows),
+                   extinct_keys={k: {"at": 0.0} for k in extinct})
+
+
+def view(node, version, *, up=True, responsible=True, tombstone=False,
+         record=None):
+    return ReplicaView(node=node, up=up, responsible=responsible,
+                       version=version, tombstone=tombstone,
+                       record=json.dumps(record or {"v": 1}, sort_keys=True))
+
+
+class TestAcceptableValues:
+    def test_last_acked_plus_later_indeterminate(self):
+        h = history(
+            put(0, "k", {"v": 1}),
+            put(1, "k", {"v": 2}, ok=False),   # indeterminate, after ack
+            put(2, "k", {"v": 3}),             # last acked
+            put(3, "k", {"v": 4}, ok=False),   # indeterminate, after ack
+        )
+        strict, ever, last_acked = acceptable_values(h, "k", before_op_id=99)
+        assert strict == [{"v": 3}, {"v": 4}]
+        assert last_acked.op_id == 2
+        assert {"v": 1} in ever and None in ever
+
+    def test_no_acked_write_accepts_none(self):
+        h = history(put(0, "k", {"v": 1}, ok=False))
+        strict, ever, last_acked = acceptable_values(h, "k", before_op_id=99)
+        assert last_acked is None
+        assert None in strict and {"v": 1} in strict
+
+
+class TestVersionMonotonicity:
+    def test_passes_on_increasing_versions(self):
+        h = history(put(0, "k", {"v": 1}, version=5),
+                    put(1, "k", {"v": 2}, version=9))
+        assert check_version_monotonicity(h) == []
+
+    def test_flags_regression(self):
+        h = history(put(0, "k", {"v": 1}, version=9),
+                    put(1, "k", {"v": 2}, version=9))
+        (v,) = check_version_monotonicity(h)
+        assert v.checker == "version_monotonicity" and v.key == "k"
+        assert v.op_ids == (0, 1)
+
+    def test_failed_puts_are_ignored(self):
+        h = history(put(0, "k", {"v": 1}, version=9),
+                    put(1, "k", {"v": 2}, version=1, ok=False))
+        assert check_version_monotonicity(h) == []
+
+
+class TestReadYourWrites:
+    def test_fresh_read_passes(self):
+        h = history(put(0, "k", {"v": 1}), get(1, "k", {"v": 1}))
+        assert check_read_your_writes(h) == []
+
+    def test_stale_read_same_coordinator_flagged(self):
+        h = history(put(0, "k", {"v": 1}), put(1, "k", {"v": 2}),
+                    get(2, "k", {"v": 1}))
+        (v,) = check_read_your_writes(h)
+        assert v.checker == "read_your_writes" and v.key == "k"
+
+    def test_stale_read_other_coordinator_exempt(self):
+        h = history(put(0, "k", {"v": 1}), put(1, "k", {"v": 2}),
+                    get(2, "k", {"v": 1}, coordinator=7))
+        assert check_read_your_writes(h) == []
+
+    def test_stale_read_in_fault_window_exempt(self):
+        h = history(put(0, "k", {"v": 1}), put(1, "k", {"v": 2}),
+                    get(2, "k", {"v": 1}, at=2.0),
+                    windows=[(1.5, 3.0)])
+        assert check_read_your_writes(h) == []
+
+    def test_settle_margin_extends_the_window(self):
+        h = history(put(0, "k", {"v": 1}), put(1, "k", {"v": 2}),
+                    get(2, "k", {"v": 1}, at=8.0),
+                    windows=[(1.0, 3.0)])
+        assert check_read_your_writes(h, settle=10.0) == []
+        assert len(check_read_your_writes(h, settle=1.0)) == 1
+
+    def test_fabricated_value_flagged_even_in_fault_window(self):
+        h = history(put(0, "k", {"v": 1}),
+                    get(1, "k", {"v": 666}, at=2.0),
+                    windows=[(0.0, 100.0)])
+        (v,) = check_read_your_writes(h)
+        assert "no write ever produced" in v.detail
+
+    def test_indeterminate_write_value_accepted(self):
+        h = history(put(0, "k", {"v": 1}),
+                    put(1, "k", {"v": 2}, ok=False),
+                    get(2, "k", {"v": 2}))
+        assert check_read_your_writes(h) == []
+
+
+class TestNoLostWrites:
+    def test_final_read_seeing_ack_passes(self):
+        h = history(put(0, "k", {"v": 1}), get(1, "k", {"v": 1}, final=True))
+        assert check_no_lost_writes(h) == []
+
+    def test_lost_write_flagged(self):
+        h = history(put(0, "k", {"v": 2}), get(1, "k", None, final=True))
+        (v,) = check_no_lost_writes(h)
+        assert v.checker == "no_lost_writes" and v.key == "k"
+        assert v.op_ids == (1, 0)
+
+    def test_failed_final_read_of_acked_write_flagged(self):
+        h = history(put(0, "k", {"v": 1}),
+                    get(1, "k", None, ok=False, final=True, error="TimeoutError_"))
+        (v,) = check_no_lost_writes(h)
+        assert "final read failed" in v.detail
+
+    def test_extinct_key_exempt(self):
+        h = history(put(0, "k", {"v": 1}), get(1, "k", None, final=True),
+                    extinct=["k"])
+        assert check_no_lost_writes(h) == []
+
+    def test_non_final_reads_not_considered(self):
+        h = history(put(0, "k", {"v": 1}), get(1, "k", None))  # stale mid-run
+        assert check_no_lost_writes(h) == []
+
+    def test_deleted_key_reads_none(self):
+        h = history(put(0, "k", {"v": 1}),
+                    OpRecord(1, "delete", 1.0, 1.5, True, key="k"),
+                    get(2, "k", None, final=True))
+        assert check_no_lost_writes(h) == []
+
+
+class TestScanPrecision:
+    def test_in_range_rows_pass(self):
+        op = OpRecord(0, "scan", 0, 1, True, attribute="v", low=0.0, high=10.0,
+                      result=[{"v": 5.0, "_key": "a"}])
+        assert check_scan_precision(history(op)) == []
+
+    def test_out_of_range_row_flagged(self):
+        op = OpRecord(0, "scan", 0, 1, True, attribute="v", low=0.0, high=10.0,
+                      result=[{"v": 11.0, "_key": "bad"}])
+        (v,) = check_scan_precision(history(op))
+        assert v.checker == "scan_precision" and v.key == "bad"
+
+
+class TestReplicaFloor:
+    def test_enough_holders_pass(self):
+        h = history(put(0, "k", {"v": 1}, version=5))
+        snap = {"k": [view(1, 5), view(2, 6)]}
+        assert check_replica_floor(snap, h, floor=2) == []
+
+    def test_too_few_holders_flagged(self):
+        h = history(put(0, "k", {"v": 1}, version=5))
+        snap = {"k": [view(1, 4)]}  # only a stale copy survives
+        (v,) = check_replica_floor(snap, h, floor=1)
+        assert v.checker == "replica_floor"
+        assert "0 replica(s)" in v.detail
+
+    def test_down_node_copy_counts(self):
+        h = history(put(0, "k", {"v": 1}, version=5))
+        snap = {"k": [view(1, 5, up=False)]}  # durable copy on a DOWN node
+        assert check_replica_floor(snap, h, floor=1) == []
+
+    def test_extinct_and_deleted_keys_exempt(self):
+        h = history(put(0, "k", {"v": 1}, version=5), extinct=["k"])
+        assert check_replica_floor({}, h, floor=1) == []
+        h2 = history(put(0, "k", {"v": 1}, version=5),
+                     OpRecord(1, "delete", 1.0, 1.5, True, key="k"))
+        assert check_replica_floor({}, h2, floor=1) == []
+
+
+class TestConvergence:
+    def test_identical_replicas_pass(self):
+        snap = {"k": [view(1, 5), view(2, 5)]}
+        assert check_convergence(snap) == []
+
+    def test_diverged_versions_flagged(self):
+        snap = {"k": [view(1, 5), view(2, 6)]}
+        (v,) = check_convergence(snap)
+        assert v.checker == "convergence" and v.key == "k"
+
+    def test_non_responsible_and_down_copies_ignored(self):
+        snap = {"k": [view(1, 5), view(2, 4, responsible=False),
+                      view(3, 3, up=False)]}
+        assert check_convergence(snap) == []
+
+    def test_extinct_key_skipped(self):
+        snap = {"k": [view(1, 5), view(2, 6)]}
+        h = history(extinct=["k"])
+        assert check_convergence(snap, h) == []

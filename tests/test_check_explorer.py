@@ -1,0 +1,113 @@
+"""End-to-end explorer campaigns: determinism, shrinking, replay, CLI.
+
+These run full simulated clusters under fault schedules and are the
+slowest tests in the tree — all marked ``slow`` so the tier-1 gate can
+skip them (`pytest -m "not slow"`); CI runs them via the dedicated
+`repro check` smoke step instead.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.explorer import (
+    break_repair_schedule,
+    explore,
+    replay,
+    run_case,
+    shrink_schedule,
+    stock_schedule,
+)
+from repro.check.nemesis import NemesisEvent, NemesisSchedule
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+class TestRunCase:
+    def test_stock_case_is_deterministic(self):
+        a = run_case(5, quick=True)
+        b = run_case(5, quick=True)
+        assert a.signature() == b.signature()
+        assert a.stats == b.stats
+
+    def test_stock_case_passes_all_checkers(self):
+        result = run_case(0, quick=True)
+        assert result.ok, [v.to_dict() for v in result.violations]
+        assert result.stats["ops"] > 0
+        assert result.stats["fault_windows"] > 0  # the nemesis actually ran
+
+    def test_break_repair_loses_acked_writes(self):
+        # With repair disabled, a steady trickle of single permanent
+        # crashes must eventually destroy every replica of some acked
+        # write — and the checkers must catch it (negative control: the
+        # harness can actually see failures, not just print green).
+        for seed in (1, 2, 3):
+            result = run_case(seed, quick=True, break_repair=True)
+            if not result.ok:
+                checkers = {v.checker for v in result.violations}
+                assert checkers & {"replica_floor", "no_lost_writes"}
+                return
+        pytest.fail("no seed in (1,2,3) produced a violation with repair off")
+
+
+class TestShrinking:
+    def test_shrink_drops_irrelevant_events(self):
+        # Only the crash matters; the oracle is scripted, not simulated.
+        schedule = NemesisSchedule([
+            NemesisEvent("loss", at=0.0, duration=4.0, params={"rate": 0.1}),
+            NemesisEvent("crash", at=1.0, duration=8.0, params={"count": 2}),
+            NemesisEvent("delay", at=2.0, duration=4.0, params={"extra": 0.05}),
+        ])
+
+        def still_fails(candidate):
+            return any(e.kind == "crash" for e in candidate)
+
+        shrunk, runs = shrink_schedule(schedule, still_fails)
+        assert [e.kind for e in shrunk] == ["crash"]
+        assert runs <= 24
+
+    def test_shrink_halves_long_durations(self):
+        schedule = NemesisSchedule([
+            NemesisEvent("crash", at=0.0, duration=32.0, params={"count": 2})])
+        shrunk, _ = shrink_schedule(schedule, lambda c: len(c) == 1)
+        assert shrunk.events[0].duration < 4.0
+
+
+class TestExploreAndReplay:
+    def test_explore_clean_report(self):
+        report = explore(seeds=2, quick=True, shrink=False)
+        assert [case["seed"] for case in report["seeds"]] == [0, 1]
+        assert all(case["ok"] for case in report["seeds"])
+        assert report["failures"] == []
+
+    def test_explore_break_repair_confirms_and_replays(self, tmp_path):
+        report = explore(seeds=2, seed_base=1, quick=True, break_repair=True,
+                         shrink=True, max_shrink_runs=6)
+        assert report["failures"], "break-repair campaign found nothing"
+        failure = report["failures"][0]
+        assert failure["confirmed_deterministic"]
+        assert failure["violations"]
+        # the artifact round-trips through JSON and replays to the same
+        # violations — the deterministic re-run contract
+        artifact = json.loads(json.dumps(report))
+        assert replay(artifact)
+
+
+class TestCheckCli:
+    def test_check_smoke_exit_zero(self, capsys):
+        rc = main(["check", "--seeds", "1", "--quick", "--no-shrink"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_expect_violation_and_replay(self, tmp_path, capsys):
+        artifact = tmp_path / "campaign.json"
+        rc = main(["check", "--seeds", "2", "--seed-base", "1", "--quick",
+                   "--break-repair", "--no-shrink", "--expect-violation",
+                   "--artifact", str(artifact)])
+        assert rc == 0  # violations were expected and found
+        assert artifact.exists()
+        rc = main(["check", "--replay", str(artifact)])
+        assert rc == 0  # every recorded failure reproduced

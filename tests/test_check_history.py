@@ -1,0 +1,176 @@
+"""History recording: OpRecord bookkeeping and the RecordingStore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.history import History, HistoryRecorder, OpRecord, RecordingStore
+from repro.common.errors import DataDropletsError
+from repro.core.datadroplets import OpTrace
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeFacade:
+    """Stands in for DataDroplets: scripted replies, observable traces."""
+
+    def __init__(self):
+        self.sim = FakeSim()
+        self.observer = None
+        self.store = {}
+        self.fail_next = None  # exception to raise on the next call
+
+    def set_op_observer(self, observer):
+        self.observer = observer
+
+    def _emit(self, kind, key, ok=True, error=None, coordinator=3):
+        if self.observer is not None:
+            self.observer(OpTrace(
+                kind=kind, routing_key=key,
+                attempts=(("rq1", coordinator),),
+                ok=ok, error=error,
+                invoked_at=self.sim.now, completed_at=self.sim.now + 0.5))
+
+    def _maybe_fail(self, kind, key):
+        self.sim.now += 1.0
+        if self.fail_next is not None:
+            exc, self.fail_next = self.fail_next, None
+            self._emit(kind, key, ok=False, error=type(exc).__name__)
+            raise exc
+
+    def put(self, key, record):
+        self._maybe_fail("put", key)
+        self.store[key] = dict(record)
+        self._emit("put", key)
+        return {"sequence": len(self.store), "coordinator": 3}
+
+    def get(self, key):
+        self._maybe_fail("get", key)
+        self._emit("get", key)
+        return self.store.get(key)
+
+    def delete(self, key):
+        self._maybe_fail("delete", key)
+        self.store.pop(key, None)
+        self._emit("delete", key)
+        return {"sequence": 9, "coordinator": 3}
+
+    def multi_get(self, keys):
+        self._maybe_fail("multi_get", keys[0])
+        self._emit("multi_get", keys[0])
+        return {k: self.store.get(k) for k in keys}
+
+    def scan(self, attribute, low, high):
+        self._maybe_fail("scan", "")
+        self._emit("scan", "")
+        return [dict(r, _key=k) for k, r in self.store.items()
+                if low <= r.get(attribute, low - 1) <= high]
+
+    def aggregate(self, attribute, kind="avg"):
+        return 42.0
+
+
+def make_store():
+    dd = FakeFacade()
+    recorder = HistoryRecorder()
+    return dd, recorder, recorder.attach(dd)
+
+
+class TestRecordingStore:
+    def test_put_records_version_and_coordinator(self):
+        dd, recorder, store = make_store()
+        store.put("k", {"v": 1})
+        (op,) = recorder.history.ops
+        assert op.kind == "put" and op.ok and op.key == "k"
+        assert op.value == {"v": 1}
+        assert op.version is not None  # packed from the version view
+        assert op.coordinator == 3
+        assert op.completed_at > op.invoked_at
+
+    def test_get_records_result_and_final_flag(self):
+        dd, recorder, store = make_store()
+        store.put("k", {"v": 2})
+        assert store.get("k", final=True) == {"v": 2}
+        op = recorder.history.ops[-1]
+        assert op.kind == "get" and op.final and op.result == {"v": 2}
+        assert op.version is None  # only puts carry a version
+
+    def test_failed_call_is_recorded_and_swallowed(self):
+        dd, recorder, store = make_store()
+        dd.fail_next = DataDropletsError("boom")
+        assert store.get("missing") is None  # swallowed, not raised
+        (op,) = recorder.history.ops
+        assert not op.ok and op.error == "DataDropletsError"
+
+    def test_non_library_errors_propagate(self):
+        dd, recorder, store = make_store()
+        dd.fail_next = RuntimeError("bug, not unavailability")
+        with pytest.raises(RuntimeError):
+            store.get("k")
+
+    def test_multi_get_records_keys_and_defaults_empty(self):
+        dd, recorder, store = make_store()
+        store.put("a", {"v": 1})
+        result = store.multi_get(["a", "b"])
+        assert result == {"a": {"v": 1}, "b": None}
+        op = recorder.history.ops[-1]
+        assert op.kind == "multi_get" and op.keys == ("a", "b")
+        dd.fail_next = DataDropletsError("down")
+        assert store.multi_get(["a"]) == {}
+
+    def test_scan_records_range(self):
+        dd, recorder, store = make_store()
+        store.put("a", {"v": 5.0})
+        rows = store.scan("v", 0.0, 10.0)
+        assert rows and rows[0]["_key"] == "a"
+        op = recorder.history.ops[-1]
+        assert (op.kind, op.attribute, op.low, op.high) == ("scan", "v", 0.0, 10.0)
+
+    def test_op_ids_are_sequential(self):
+        dd, recorder, store = make_store()
+        store.put("a", {"v": 1})
+        store.get("a")
+        store.delete("a")
+        assert [op.op_id for op in recorder.history.ops] == [0, 1, 2]
+
+    def test_aggregate_passes_through_unrecorded(self):
+        dd, recorder, store = make_store()
+        assert store.aggregate("v") == 42.0
+        assert recorder.history.ops == []
+
+
+class TestHistory:
+    def test_writes_for_filters_by_key_and_kind(self):
+        h = History()
+        h.add(OpRecord(0, "put", 0, 1, True, key="a", value={"v": 1}))
+        h.add(OpRecord(1, "get", 1, 2, True, key="a"))
+        h.add(OpRecord(2, "delete", 2, 3, True, key="a"))
+        h.add(OpRecord(3, "put", 3, 4, True, key="b", value={"v": 2}))
+        assert [op.op_id for op in h.writes_for("a")] == [0, 2]
+
+    def test_keys_touched_includes_multiget_keys(self):
+        h = History()
+        h.add(OpRecord(0, "put", 0, 1, True, key="a"))
+        h.add(OpRecord(1, "multi_get", 1, 2, True, keys=("b", "c")))
+        assert h.keys_touched() == ["a", "b", "c"]
+
+    def test_fault_window_overlap_and_margin(self):
+        h = History(fault_windows=[(10.0, 20.0)])
+        assert h.in_fault_window(15.0, 16.0)
+        assert h.in_fault_window(19.0, 25.0)
+        assert not h.in_fault_window(21.0, 22.0)
+        assert h.in_fault_window(21.0, 22.0, margin=5.0)  # settle margin
+        assert not h.in_fault_window(0.0, 9.0)
+
+    def test_to_dicts_roundtrips_shape(self):
+        h = History(fault_windows=[(1.0, 2.0)],
+                    extinct_keys={"k": {"at": 1.5}})
+        h.add(OpRecord(0, "put", 0, 1, True, key="k", value={"v": 1},
+                       version=7, coordinator=2))
+        out = h.to_dicts()
+        assert out["fault_windows"] == [[1.0, 2.0]]
+        assert out["extinct_keys"] == {"k": {"at": 1.5}}
+        assert out["ops"][0]["version"] == 7

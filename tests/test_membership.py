@@ -195,6 +195,32 @@ class TestCyclon:
         with pytest.raises(ValueError):
             CyclonProtocol(view_size=4, shuffle_size=5)
 
+    def test_isolated_node_rejoins_after_partition_heals(self):
+        # Regression: a node cut off from everyone drains its view (each
+        # shuffle removes the target optimistically; nothing merges back)
+        # while the rest of the overlay ages it out. Before the fix, its
+        # empty view never shuffled again and the durable address cache
+        # had been overwritten with ever-shorter lists ending empty — so
+        # the node stayed disconnected *forever* after the heal, and its
+        # data silently dropped out of anti-entropy.
+        sim = Simulation(seed=16)
+        cluster = Cluster(sim, latency=UniformLatency(0.005, 0.02))
+        factory = lambda n: [CyclonProtocol(view_size=8, shuffle_size=4, period=1.0)]
+        nodes = build_connected(sim, cluster, 30, factory, warmup=15.0)
+        victim = nodes[7].node_id
+        cluster.network.set_partition(
+            lambda src, dst: src != victim and dst != victim)
+        sim.run_for(120.0)  # long isolation: view fully drains
+        assert nodes[7].protocol("membership").neighbors() == []
+        # the durable cache must survive the drain — it is the only way back
+        assert nodes[7].durable.get("membership:address-cache")
+        cluster.network.set_partition(None)
+        sim.run_for(30.0)
+        assert len(nodes[7].protocol("membership").neighbors()) > 0
+        indegree = sum(victim in n.protocol("membership").neighbors()
+                       for n in nodes if n.node_id != victim)
+        assert indegree > 0  # the overlay knows the node again
+
 
 class TestNewscast:
     def test_converges_and_samples(self):

@@ -111,6 +111,27 @@ class TestPoissonChurn:
         assert churn.joins == churn.permanent_deaths > 0
         assert live == 20
 
+    def test_on_crash_hook_sees_victim_before_the_crash(self):
+        # The extinction tracker in repro.check.nemesis relies on reading
+        # the victim's durable state before a permanent crash wipes it.
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        for node in cluster.add_nodes(10, echo_stack):
+            node.durable["payload"] = "still-here"
+        observed = []
+
+        def on_crash(victim, permanent):
+            observed.append((victim.durable.get("payload"), victim.is_up, permanent))
+
+        churn = PoissonChurn(sim, cluster, event_rate=2.0,
+                             permanent_fraction=1.0, on_crash=on_crash)
+        churn.start()
+        sim.run_until(5.0)
+        churn.stop()
+        assert observed and len(observed) == churn.crashes
+        assert all(payload == "still-here" and up and permanent
+                   for payload, up, permanent in observed)
+
     def test_parameter_validation(self, sim, cluster):
         with pytest.raises(ValueError):
             PoissonChurn(sim, cluster, event_rate=0)
@@ -136,6 +157,33 @@ class TestCatastrophicEvent:
             CatastrophicEvent(sim, cluster, at_time=1.0, fraction=0.5,
                               permanent=True, recover_after=5.0)
 
+    def test_zero_fraction_is_a_noop(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(6, echo_stack)
+        event = CatastrophicEvent(sim, cluster, at_time=1.0, fraction=0.0,
+                                  recover_after=1.0)
+        sim.run_until(5.0)
+        assert event.victims == []
+        assert len(cluster.up_nodes()) == 6
+
+    def test_recover_skips_victims_already_rebooted(self):
+        # A victim manually booted (or killed) between the blast and the
+        # scheduled recovery must not be double-booted.
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(4, echo_stack)
+        event = CatastrophicEvent(sim, cluster, at_time=1.0, fraction=1.0,
+                                  recover_after=10.0)
+        sim.run_until(2.0)
+        early, late = event.victims[0], event.victims[1]
+        early.boot()
+        boots_before = early.boot_count
+        sim.run_until(20.0)
+        assert early.boot_count == boots_before  # not re-booted
+        assert late.is_up
+        assert all(v.is_up for v in event.victims)
+
 
 class TestTraceChurn:
     def test_replays_schedule(self):
@@ -157,6 +205,59 @@ class TestTraceChurn:
     def test_invalid_kind_rejected(self, sim, cluster):
         with pytest.raises(ValueError):
             TraceChurn(sim, cluster, [ChurnAction(1.0, 0, "explode")])
+
+    def test_redundant_actions_are_noops(self):
+        # recover-while-up, crash-while-down, recover-after-kill: the
+        # trace player must shrug all of these off, not double-boot.
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(2, echo_stack)
+        TraceChurn(sim, cluster, [
+            ChurnAction(1.0, 0, "recover"),   # already up
+            ChurnAction(2.0, 0, "crash"),
+            ChurnAction(3.0, 0, "crash"),     # already down
+            ChurnAction(4.0, 1, "kill"),
+            ChurnAction(5.0, 1, "recover"),   # dead nodes stay dead
+        ])
+        sim.run_until(10.0)
+        assert nodes[0].state is NodeState.DOWN
+        assert nodes[0].boot_count == 1  # the t=1.0 recover did nothing
+        assert nodes[1].state is NodeState.DEAD
+
+    def test_kill_escalates_a_down_node(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(1, echo_stack)
+        nodes[0].durable["x"] = 1
+        TraceChurn(sim, cluster, [
+            ChurnAction(1.0, 0, "crash"),
+            ChurnAction(2.0, 0, "kill"),  # DOWN -> DEAD, durable wiped
+        ])
+        sim.run_until(3.0)
+        assert nodes[0].state is NodeState.DEAD
+        assert "x" not in nodes[0].durable
+
+    def test_out_of_range_index_raises_at_fire_time(self):
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        cluster.add_nodes(1, echo_stack)
+        TraceChurn(sim, cluster, [ChurnAction(1.0, 9, "crash")])
+        with pytest.raises(IndexError):
+            sim.run_until(2.0)
+
+    def test_same_instant_crash_then_recover(self):
+        # Zero-duration outage scheduled at one instant: actions apply
+        # in schedule order, leaving the node UP but rebooted.
+        sim = Simulation(seed=3)
+        cluster = Cluster(sim, latency=FixedLatency(0.01))
+        nodes = cluster.add_nodes(1, echo_stack)
+        TraceChurn(sim, cluster, [
+            ChurnAction(1.0, 0, "crash"),
+            ChurnAction(1.0, 0, "recover"),
+        ])
+        sim.run_until(2.0)
+        assert nodes[0].is_up
+        assert nodes[0].boot_count == 2
 
 
 class TestAvailabilityHelper:

@@ -1,0 +1,118 @@
+"""Fault-injection knobs of the simulated network.
+
+These are the primitives the nemesis driver (repro.check.nemesis) builds
+on: duplication, forced reordering, flat extra delay, targeted drop
+filters, and partitions that also cut down messages already in flight.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.ids import NodeId
+from repro.common.messages import Message, message_type
+from repro.sim import Cluster, FixedLatency, Protocol, Simulation
+
+
+@message_type
+@dataclass(frozen=True)
+class _Mark(Message):
+    tag: str = ""
+
+
+class _Sink(Protocol):
+    name = "sink"
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((self.host.sim.now, message.tag))
+
+
+def pair(seed: int = 11, latency: float = 0.05):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, latency=FixedLatency(latency))
+    a = cluster.add_node(lambda n: [_Sink()])
+    b = cluster.add_node(lambda n: [_Sink()])
+    return sim, cluster, a, b
+
+
+class TestInjectionKnobs:
+    def test_duplicate_rate_delivers_twice(self):
+        sim, cluster, a, b = pair()
+        cluster.network.duplicate_rate = 1.0
+        a.protocol("sink").send(b.node_id, _Mark("m"))
+        sim.run_until(1.0)
+        assert len(b.protocol("sink").received) == 2
+        assert cluster.metrics.counter_value("net.injected.duplicates") == 1
+
+    def test_reorder_rate_swaps_back_to_back_sends(self):
+        sim, cluster, a, b = pair()
+        cluster.network.reorder_rate = 1.0
+        cluster.network.reorder_delay = 0.5
+        # all messages get the penalty -> check the counter plus delay
+        a.protocol("sink").send(b.node_id, _Mark("x"))
+        sim.run_until(2.0)
+        (at, _), = b.protocol("sink").received
+        assert at >= 0.55  # latency + reorder penalty
+        assert cluster.metrics.counter_value("net.injected.reordered") == 1
+
+    def test_selective_reordering_inverts_arrival_order(self):
+        # Penalise only the first message: it was sent first, arrives last.
+        sim, cluster, a, b = pair()
+        net = cluster.network
+        net.reorder_rate = 1.0
+        net.reorder_delay = 0.5
+        a.protocol("sink").send(b.node_id, _Mark("first"))
+        net.reorder_rate = 0.0
+        a.protocol("sink").send(b.node_id, _Mark("second"))
+        sim.run_until(2.0)
+        assert [tag for _, tag in b.protocol("sink").received] == ["second", "first"]
+
+    def test_extra_delay_is_flat_additive(self):
+        sim, cluster, a, b = pair(latency=0.05)
+        cluster.network.extra_delay = 0.2
+        a.protocol("sink").send(b.node_id, _Mark("m"))
+        sim.run_until(1.0)
+        (at, _), = b.protocol("sink").received
+        assert abs(at - 0.25) < 1e-9
+
+    def test_drop_filter_targets_protocol_and_direction(self):
+        sim, cluster, a, b = pair()
+        victim = b.node_id
+        cluster.network.set_drop_filter(
+            lambda src, dst, protocol, message: dst == victim)
+        a.protocol("sink").send(b.node_id, _Mark("blocked"))
+        b.protocol("sink").send(a.node_id, _Mark("allowed"))
+        sim.run_until(1.0)
+        assert b.protocol("sink").received == []
+        assert [tag for _, tag in a.protocol("sink").received] == ["allowed"]
+        assert cluster.metrics.counter_value("net.dropped.injected") == 1
+        cluster.network.set_drop_filter(None)
+        a.protocol("sink").send(b.node_id, _Mark("after"))
+        sim.run_until(2.0)
+        assert [tag for _, tag in b.protocol("sink").received] == ["after"]
+
+
+class TestInFlightPartition:
+    def test_partition_drops_messages_already_in_flight(self):
+        # The partition begins *after* the send but *before* delivery:
+        # the message must be dropped at delivery time, not sneak through
+        # a cut network.
+        sim, cluster, a, b = pair(latency=0.5)
+        a.protocol("sink").send(b.node_id, _Mark("in-flight"))
+        sim.run_until(0.1)  # message is on the wire
+        cluster.network.set_partition(lambda src, dst: False)
+        sim.run_until(2.0)
+        assert b.protocol("sink").received == []
+        assert cluster.metrics.counter_value("net.dropped.partition") == 1
+
+    def test_partition_lifted_before_delivery_lets_it_through(self):
+        sim, cluster, a, b = pair(latency=0.5)
+        a.protocol("sink").send(b.node_id, _Mark("survivor"))
+        sim.run_until(0.1)
+        cluster.network.set_partition(lambda src, dst: False)
+        sim.run_until(0.2)  # still in flight
+        cluster.network.set_partition(None)
+        sim.run_until(2.0)
+        assert [tag for _, tag in b.protocol("sink").received] == ["survivor"]

@@ -146,7 +146,8 @@ class TestWrites:
         assert rig.client.replies and rig.client.replies[0].ok
 
     def test_retry_then_fallback_without_acks(self):
-        config = SoftStateConfig(ack_timeout=1.0, write_retries=1)
+        config = SoftStateConfig(ack_timeout=1.0, write_retries=1,
+                                 fallback_flush_period=100.0)
         rig = make_rig(config, ack_count=0)  # storage never acks
         send_from_client(rig, ClientPut("r1", "k", {"v": 1}))
         rig.sim.run_for(6.0)
@@ -155,6 +156,33 @@ class TestWrites:
         assert rig.client.replies and rig.client.replies[0].ok
         fallback = rig.coordinator.host.durable["soft-fallback"]
         assert "k" in fallback
+
+    def test_fallback_flush_redisseminates_parked_writes(self):
+        config = SoftStateConfig(ack_timeout=1.0, write_retries=0,
+                                 fallback_flush_period=3.0)
+        rig = make_rig(config, ack_count=0)  # storage never acks...
+        send_from_client(rig, ClientPut("r1", "k", {"v": 1}))
+        rig.sim.run_for(2.0)
+        assert "k" in rig.coordinator.host.durable["soft-fallback"]
+        # ...until it comes back: the periodic flush must re-send the
+        # parked item and drop it from the fallback once storage acks.
+        rig.storage.ack_count = 1
+        rig.sim.run_for(6.0)
+        assert "k" not in rig.coordinator.host.durable["soft-fallback"]
+        assert rig.storage.stored["k"].record == {"v": 1}
+
+    def test_fallback_flush_keeps_newer_parked_version(self):
+        config = SoftStateConfig(ack_timeout=1.0, write_retries=0,
+                                 fallback_flush_period=100.0)
+        rig = make_rig(config, ack_count=0)
+        send_from_client(rig, ClientPut("r1", "k", {"v": 2}))
+        rig.sim.run_for(3.0)
+        parked = rig.coordinator.host.durable["soft-fallback"]["k"]
+        # a stale ack (older version) must not evict the parked copy
+        stale = StoreAck("k", Version(sequence=0, coordinator=1), NodeId(900))
+        rig.sim.call_soon(lambda: rig.storage.host.send(rig.soft_id, "soft", stale))
+        rig.sim.run_for(1.0)
+        assert rig.coordinator.host.durable["soft-fallback"]["k"] is parked
 
     def test_versions_are_per_key_monotone(self):
         rig = make_rig()

@@ -405,3 +405,59 @@ class TestJsonCodecStillStrict:
         assert not math.isfinite(float("nan"))
         with pytest.raises(CodecError):
             Codec().encode(new_node_id(), "p", _WireProbe(number=0, data={"f": float("inf")}))
+
+
+class TestByteFlipFuzz:
+    """Corrupted datagrams must fail *cleanly*.
+
+    The runtime drops any datagram whose decode raises CodecError; an
+    escape of any other exception type would crash the receive loop. So:
+    for every registered message type, encode with both codecs, flip
+    random bits, and require decode to either succeed (the flip hit a
+    don't-care or produced a different-but-valid value) or raise
+    CodecError — nothing else."""
+
+    def _corruptions(self, payload: bytes, rng: random.Random):
+        for _ in range(12):
+            corrupted = bytearray(payload)
+            for _ in range(rng.randrange(1, 4)):
+                index = rng.randrange(len(corrupted))
+                corrupted[index] ^= 1 << rng.randrange(8)
+            yield bytes(corrupted)
+        # truncations and padding are corruption too
+        for cut in (1, len(payload) // 2):
+            yield payload[:-cut] if cut < len(payload) else b""
+        yield payload + b"\x00"
+
+    def test_flipped_bytes_raise_codec_error_or_decode(self):
+        _import_all_repro_modules()
+        registry = registered_message_types()
+        sender = NodeId(7, "127.0.0.1:7007")
+        rng = random.Random(0xF1A5)
+        attempts = 0
+        for name in sorted(registry):
+            message = _instance_of(registry[name], rng)
+            for codec in (Codec(), BinaryCodec()):
+                payload = codec.encode(sender, "fuzz", message)
+                for corrupted in self._corruptions(payload, rng):
+                    attempts += 1
+                    try:
+                        codec.decode(corrupted)
+                    except CodecError:
+                        pass
+                    # the auto-detecting datagram path must be as strict
+                    try:
+                        decode_datagram(corrupted)
+                    except CodecError:
+                        pass
+        assert attempts >= 15 * len(registry) * 2
+
+    def test_random_garbage_datagrams(self):
+        rng = random.Random(0xDEAD)
+        for length in (0, 1, 2, 7, 64, 513):
+            for _ in range(20):
+                blob = bytes(rng.randrange(256) for _ in range(length))
+                try:
+                    decode_datagram(blob)
+                except CodecError:
+                    pass
