@@ -52,6 +52,7 @@ class OpRecord:
     result: Any = None  # what the client saw back
     version: Optional[int] = None  # packed version acked to a put
     coordinator: Optional[int] = None
+    trace_id: Optional[str] = None  # causal trace id when tracing is on
     error: Optional[str] = None
     final: bool = False
     attribute: Optional[str] = None  # scans
@@ -66,8 +67,8 @@ class OpRecord:
             "completed_at": self.completed_at,
             "ok": self.ok,
         }
-        for name in ("key", "value", "result", "version", "coordinator", "error",
-                     "attribute"):
+        for name in ("key", "value", "result", "version", "coordinator",
+                     "trace_id", "error", "attribute"):
             v = getattr(self, name)
             if v is not None:
                 out[name] = v
@@ -206,6 +207,7 @@ class RecordingStore:
             result=result,
             version=_packed(result) if kind == "put" and ok else None,
             coordinator=trace.coordinator if trace is not None else None,
+            trace_id=trace.trace_id if trace is not None else None,
             error=error,
             final=final,
             attribute=attribute,

@@ -256,6 +256,89 @@ def _bench_e16(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_trace(args: argparse.Namespace, path: str) -> None:
+    """Run a small traced deployment and export its event log."""
+    config = DataDropletsConfig(
+        n_storage=args.nodes,
+        n_soft=2,
+        replication=args.replication,
+        seed=args.seed,
+        tracing=True,
+    )
+    print(f"recording: {config.n_storage} storage nodes, {args.ops} ops ...")
+    dd = DataDroplets(config).start(warmup=15.0)
+    for i in range(args.ops):
+        dd.put(f"trace:{i}", {"score": float(i), "name": f"row-{i}"})
+    if args.ops:
+        dd.get("trace:0")
+    dd.run_for(15.0)
+    written = dd.export_trace(path)
+    print(f"{written} events -> {path}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import load_traces, render_summary, summarize
+
+    path = args.path or "trace.jsonl"
+    if args.record:
+        _record_trace(args, path)
+    elif args.path is None:
+        print("trace: need a JSONL path to analyze, or --record", file=sys.stderr)
+        return 2
+    traces = load_traces(path)
+    summaries = summarize(traces)
+    print(render_summary(summaries, limit=args.limit, show_paths=args.paths))
+    if args.check:
+        connected = sum(1 for s in summaries if s.connected)
+        ok = bool(summaries) and connected == len(summaries)
+        print("check:", "ok" if ok else
+              f"FAILED ({connected}/{len(summaries)} traces connected)")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        CounterWindows, metrics_json, prometheus_text, render_windows_report,
+    )
+
+    if args.path is not None:
+        with open(args.path) as fh:
+            doc = json.load(fh)
+        print(render_windows_report(doc, last=args.last))
+        return 0
+
+    config = DataDropletsConfig(
+        n_storage=args.nodes, n_soft=2, replication=4, seed=args.seed,
+    )
+    print(f"sampling: {config.n_storage} storage nodes, "
+          f"{args.duration:.0f}s at {args.period:g}s windows ...")
+    dd = DataDroplets(config).start(warmup=10.0)
+    windows = CounterWindows(dd.metrics)
+    windows.attach(dd.sim, period=args.period)
+    for i in range(25):
+        dd.put(f"m:{i}", {"v": i})
+    dd.run_for(args.duration)
+    windows.detach()
+
+    if args.format == "prom":
+        text = prometheus_text(dd.metrics)
+    elif args.format == "json":
+        text = json.dumps(metrics_json(dd.metrics, windows), indent=2) + "\n"
+    else:
+        text = render_windows_report(metrics_json(dd.metrics, windows),
+                                     last=args.last) + "\n"
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
 
@@ -354,6 +437,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero unless the optimised path beats the "
                             "baseline >=2x with identical protocol behaviour")
     bench.set_defaults(fn=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="causal trace analysis (record a traced run and/or "
+                      "analyze a JSONL event log)")
+    trace.add_argument("path", nargs="?", default=None,
+                       help="trace JSONL to analyze (default trace.jsonl "
+                            "with --record)")
+    trace.add_argument("--record", action="store_true",
+                       help="run a small traced simulation first and write "
+                            "its event log to PATH")
+    trace.add_argument("-n", "--nodes", type=int, default=50,
+                       help="storage nodes for --record")
+    trace.add_argument("--ops", type=int, default=10,
+                       help="client puts for --record")
+    trace.add_argument("-r", "--replication", type=int, default=4)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--summary", action="store_true",
+                       help="aggregate per-phase summary (the default output)")
+    trace.add_argument("--paths", action="store_true",
+                       help="also print each trace's critical path")
+    trace.add_argument("--limit", type=int, default=10,
+                       help="traces shown individually")
+    trace.add_argument("--check", action="store_true",
+                       help="exit non-zero unless every trace's span tree "
+                            "is connected")
+    trace.set_defaults(fn=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="windowed metrics report / Prometheus export "
+                        "(runs a small simulation, or renders a JSON dump)")
+    metrics.add_argument("path", nargs="?", default=None,
+                         help="metrics JSON dump to render instead of "
+                              "running a simulation")
+    metrics.add_argument("-n", "--nodes", type=int, default=40)
+    metrics.add_argument("--duration", type=float, default=20.0)
+    metrics.add_argument("--period", type=float, default=1.0,
+                         help="window width in virtual seconds")
+    metrics.add_argument("--seed", type=int, default=42)
+    metrics.add_argument("--format", choices=("report", "prom", "json"),
+                         default="report")
+    metrics.add_argument("-o", "--output", default=None, metavar="PATH")
+    metrics.add_argument("--last", type=int, default=6,
+                         help="windows shown per counter")
+    metrics.set_defaults(fn=_cmd_metrics)
 
     check = sub.add_parser(
         "check", help="Jepsen-style fault-injection checking campaign "

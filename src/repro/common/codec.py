@@ -41,11 +41,12 @@ import dataclasses
 import json
 import math
 import struct
-from typing import Any, Dict, List, Tuple, Type, Union
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
 
 from repro.common.errors import DataDropletsError
 from repro.common.ids import NodeId
 from repro.common.messages import Message, lookup_message_type, lookup_wire_type
+from repro.obs.trace import TraceContext
 
 _TAG = "__t"  # type tag key used in JSON-encoded objects
 
@@ -66,6 +67,9 @@ class DecodedEnvelope:
     sender: NodeId
     protocol: str
     message: Message
+    #: Causal trace context carried on the envelope, if the sender was
+    #: tracing this message (None for untraced and pre-trace frames).
+    trace: Optional[TraceContext] = None
 
 
 # ---------------------------------------------------------------------------
@@ -78,8 +82,9 @@ class Codec:
 
     wire_name = "json"
 
-    def encode(self, sender: NodeId, protocol: str, message: Message) -> bytes:
-        """Serialize an envelope (sender, protocol, message) to bytes."""
+    def encode(self, sender: NodeId, protocol: str, message: Message,
+               trace: Optional[TraceContext] = None) -> bytes:
+        """Serialize an envelope (sender, protocol, message[, trace])."""
         try:
             envelope = {
                 "sender": _encode_value(sender),
@@ -87,6 +92,10 @@ class Codec:
                 "type": message.type_name(),
                 "body": _encode_value(message),
             }
+            if trace is not None:
+                # Optional key: peers without tracing simply never emit it,
+                # and old decoders ignore unknown keys.
+                envelope["trace"] = list(trace.to_wire())
             # allow_nan=False: json.dumps would otherwise emit NaN/Infinity
             # literals that are not standard JSON and break strict peers.
             return json.dumps(envelope, separators=(",", ":"), allow_nan=False).encode("utf-8")
@@ -98,13 +107,20 @@ class Codec:
     encode_envelope = encode
 
     def decode(self, payload: bytes) -> DecodedEnvelope:
-        """Parse bytes back into (sender, protocol, message)."""
+        """Parse bytes back into (sender, protocol, message[, trace])."""
         try:
             envelope = json.loads(payload.decode("utf-8"))
             sender = _decode_value(envelope["sender"])
             cls = lookup_message_type(envelope["type"])
             message = _decode_dataclass(cls, envelope["body"])
-            return DecodedEnvelope(sender, envelope["protocol"], message)
+            raw_trace = envelope.get("trace")
+            trace = None
+            if raw_trace is not None:
+                try:
+                    trace = TraceContext.from_wire(raw_trace)
+                except (TypeError, ValueError) as exc:
+                    raise CodecError(f"malformed trace field: {exc}") from exc
+            return DecodedEnvelope(sender, envelope["protocol"], message, trace)
         except CodecError:
             raise
         except Exception as exc:  # malformed input from the network
@@ -427,7 +443,8 @@ class BinaryCodec:
 
     wire_name = "binary"
 
-    def encode_envelope(self, sender: NodeId, protocol: str, message: Message) -> bytes:
+    def encode_envelope(self, sender: NodeId, protocol: str, message: Message,
+                        trace: Optional[TraceContext] = None) -> bytes:
         if not isinstance(message, Message):
             raise CodecError(f"not a Message: {message!r}")
         out = bytearray()
@@ -435,14 +452,19 @@ class BinaryCodec:
             _binary_encode(sender, out)
             _write_str(protocol, out)
             _binary_encode(message, out)
+            if trace is not None:
+                # Optional trailing tuple: pre-trace (v0x01) envelopes end
+                # at the message, so absence decodes as trace=None.
+                _binary_encode(trace.to_wire(), out)
         except CodecError:
             raise
         except (TypeError, ValueError) as exc:
             raise CodecError(f"cannot encode {message!r}: {exc}") from exc
         return bytes(out)
 
-    def encode(self, sender: NodeId, protocol: str, message: Message) -> bytes:
-        return self.frame([self.encode_envelope(sender, protocol, message)])
+    def encode(self, sender: NodeId, protocol: str, message: Message,
+               trace: Optional[TraceContext] = None) -> bytes:
+        return self.frame([self.encode_envelope(sender, protocol, message, trace)])
 
     def decode(self, payload: bytes) -> DecodedEnvelope:
         """Decode a standalone single-envelope binary frame."""
@@ -470,9 +492,18 @@ def decode_binary_envelope(envelope: bytes) -> DecodedEnvelope:
         message, pos = _binary_decode(envelope, pos)
         if not isinstance(message, Message):
             raise CodecError(f"envelope body is {type(message).__name__}, not a Message")
+        trace = None
+        if pos < len(envelope):
+            # Traced envelopes append one tuple after the message; plain
+            # v0x01 envelopes end here, so this branch never runs for them.
+            raw_trace, pos = _binary_decode(envelope, pos)
+            try:
+                trace = TraceContext.from_wire(raw_trace)
+            except (TypeError, ValueError) as exc:
+                raise CodecError(f"malformed trace field: {exc}") from exc
         if pos != len(envelope):
             raise CodecError(f"{len(envelope) - pos} trailing bytes after envelope")
-        return DecodedEnvelope(sender, protocol, message)
+        return DecodedEnvelope(sender, protocol, message, trace)
     except CodecError:
         raise
     except Exception as exc:

@@ -107,7 +107,18 @@ class DataDropletsConfig:
     client_timeout: float = 30.0  # virtual seconds per operation
     client_retries: int = 2  # re-sends after a timed-out request
 
+    # observability — causal tracing (see docs/API.md "Tracing & metrics
+    # export"). Off by default: the disabled tracer costs one attribute
+    # load and a branch per network send.
+    tracing: bool = False
+    trace_sample_rate: float = 1.0  # fraction of client ops that open a trace
+    trace_capacity: int = 200_000  # event ring-buffer size (oldest evicted)
+
     def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError("trace_sample_rate must be in [0, 1]")
+        if self.trace_capacity <= 0:
+            raise ConfigurationError("trace_capacity must be positive")
         if self.n_soft <= 0 or self.n_storage <= 0:
             raise ConfigurationError("n_soft and n_storage must be positive")
         if self.replication <= 0:

@@ -28,6 +28,7 @@ from repro.common.ids import NodeId
 from repro.common.messages import Message
 from repro.core.config import DataDropletsConfig
 from repro.core.storage import make_storage_stack
+from repro.obs.trace import Tracer
 from repro.sim.churn import PoissonChurn
 from repro.sim.cluster import Cluster
 from repro.sim.metrics import Metrics
@@ -83,6 +84,10 @@ class OpTrace:
     error: Optional[str]
     invoked_at: float
     completed_at: float
+    #: Causal trace id of this operation's span tree (None when tracing
+    #: is off or the op was sampled out) — joins history records to the
+    #: JSONL trace log for replay-with-trace debugging.
+    trace_id: Optional[str] = None
 
     @property
     def coordinator(self) -> Optional[int]:
@@ -96,10 +101,19 @@ class DataDroplets:
     def __init__(self, config: Optional[DataDropletsConfig] = None):
         self.config = (config if config is not None else DataDropletsConfig()).with_replication_target()
         self.sim = Simulation(seed=self.config.seed)
+        tracer = None
+        if self.config.tracing:
+            tracer = Tracer(
+                enabled=True,
+                sample_rate=self.config.trace_sample_rate,
+                capacity=self.config.trace_capacity,
+                seed=self.config.seed,
+            )
         network = Network(
             self.sim,
             latency=UniformLatency(self.config.latency_low, self.config.latency_high),
             loss_rate=self.config.loss_rate,
+            tracer=tracer,
         )
         # One cluster, one network: soft, storage and client nodes all
         # share the fabric (ids are dense across all of them).
@@ -150,6 +164,17 @@ class DataDroplets:
     @property
     def metrics(self) -> Metrics:
         return self.cluster.metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The cluster's causal tracer (the disabled no-op one when
+        ``config.tracing`` is off)."""
+        return self.cluster.network.tracer
+
+    def export_trace(self, path: str) -> int:
+        """Write buffered trace events to ``path`` as JSONL; returns the
+        event count (see ``repro trace`` for analysis)."""
+        return self.tracer.export_jsonl(path)
 
     def start(self, warmup: float = 15.0) -> "DataDroplets":
         """Boot both layers, seed membership, converge estimators.
@@ -279,6 +304,11 @@ class DataDroplets:
         invoked_at = self.sim.now
         trace_attempts: List[Tuple[str, int]] = []
         last_error: Exception = UnavailableError("no live soft-state coordinator")
+        tracer = self.tracer
+        # Root span of this operation's causal tree (None when tracing is
+        # off or the op is sampled out); every retry sends under it.
+        ctx = tracer.start_trace(
+            self.client_node.node_id.value, kind, invoked_at, key=routing_key)
         try:
             for _ in range(attempts):
                 self._refresh_ring()
@@ -288,7 +318,14 @@ class DataDroplets:
                 request_id = f"req-{next(self._request_seq)}"
                 trace_attempts.append((request_id, coordinator.value))
                 message = build(request_id)
-                self.sim.call_soon(lambda m=message, c=coordinator: self.client_node.send(c, "soft", m))
+
+                def _send(m=message, c=coordinator) -> None:
+                    # Runs later, inside _await_reply's step loop — the
+                    # root context must be active *there*, at send time.
+                    with tracer.activate(ctx):
+                        self.client_node.send(c, "soft", m)
+
+                self.sim.call_soon(_send)
                 try:
                     reply = self._await_reply(request_id)
                 except TimeoutError_ as exc:
@@ -296,16 +333,20 @@ class DataDroplets:
                     continue
                 if not reply.ok:
                     raise UnavailableError(reply.error or "operation failed")
-                self._trace(kind, routing_key, trace_attempts, invoked_at, ok=True, error=None)
+                self._trace(kind, routing_key, trace_attempts, invoked_at,
+                            ok=True, error=None, ctx=ctx)
                 return reply
             raise last_error
         except DataDropletsError as exc:
             self._trace(kind, routing_key, trace_attempts, invoked_at,
-                        ok=False, error=type(exc).__name__)
+                        ok=False, error=type(exc).__name__, ctx=ctx)
             raise
 
     def _trace(self, kind: str, routing_key: str, attempts: List[Tuple[str, int]],
-               invoked_at: float, ok: bool, error: Optional[str]) -> None:
+               invoked_at: float, ok: bool, error: Optional[str], ctx=None) -> None:
+        if ctx is not None:
+            self.tracer.event("op-complete", self.client_node.node_id.value,
+                              self.sim.now, ctx=ctx, ok=ok)
         if self._op_observer is None:
             return
         self._op_observer(OpTrace(
@@ -316,6 +357,7 @@ class DataDroplets:
             error=error,
             invoked_at=invoked_at,
             completed_at=self.sim.now,
+            trace_id=ctx.trace_id if ctx is not None else None,
         ))
 
     def _await_reply(self, request_id: str) -> ClientReply:

@@ -157,11 +157,21 @@ class StorageNodeProtocol(Protocol):
     def _apply_write(self, payload: WritePayload) -> None:
         item = payload.item
         held = self.memtable.get_any(item.key)
+        tracer = self.host.tracer
         # Keep the item if our sieve admits it, or if we already hold the
         # key (updates and tombstones must reach existing replicas even
         # when a placement rule has since shifted).
         if held is None and not self.full_sieve.admits(item.key, item.record):
+            if tracer.active:
+                tracer.event("sieve-reject", self.host.node_id.value, self.host.now,
+                             key=item.key)
             return
+        if tracer.active:
+            if held is None:
+                tracer.event("sieve-admit", self.host.node_id.value, self.host.now,
+                             key=item.key)
+            tracer.event("apply", self.host.node_id.value, self.host.now,
+                         key=item.key, version=item.version.packed())
         self.memtable.put(item)
         self.host.metrics.counter("storage.writes_applied").inc()
         self._note_index_buckets(item)

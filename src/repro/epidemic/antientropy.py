@@ -272,6 +272,10 @@ class AntiEntropy(Protocol):
         elif isinstance(message, ItemsPush):
             applied = self.store.apply(message.items)
             self._c_items_applied.inc(applied)
+            tracer = self.host.tracer
+            if applied and tracer.active:
+                tracer.event("repair", self.host.node_id.value, self.host.now,
+                             count=applied)
         else:
             self._c_unexpected.inc()
 

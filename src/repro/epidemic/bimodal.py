@@ -138,6 +138,10 @@ class BimodalMulticast(Protocol):
         for deliver in self._subscribers:
             deliver(item_id, payload, hops)
         self._c_delivered.inc()
+        tracer = self.host.tracer
+        if tracer.active:
+            tracer.event("deliver", self.host.node_id.value, self.host.now,
+                         item=item_id, hops=hops)
         if relay:
             relayed = PbcastData(item_id, payload, hops + 1)
             peers = self._sampler().sample_peers(self._current_fanout())

@@ -120,6 +120,10 @@ class EagerGossip(Protocol):
             for deliver in self._subscribers:
                 deliver(message.item_id, message.payload, message.hops)
             self._c_delivered.inc()
+            tracer = self.host.tracer
+            if tracer.active:
+                tracer.event("deliver", self.host.node_id.value, self.host.now,
+                             item=message.item_id, hops=message.hops)
         else:
             self._c_duplicates.inc()
         should_relay = first_time if self.mode == "infect-and-die" else True

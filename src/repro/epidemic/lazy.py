@@ -132,6 +132,10 @@ class LazyGossip(Protocol):
         for deliver in self._subscribers:
             deliver(item_id, payload, hops)
         self._c_delivered.inc()
+        tracer = self.host.tracer
+        if tracer.active:
+            tracer.event("deliver", self.host.node_id.value, self.host.now,
+                         item=item_id, hops=hops)
         self._advertise([item_id])
 
     def _advertise(self, item_ids: List[str]) -> None:

@@ -1,0 +1,29 @@
+"""Observability: causal tracing, structured events, metrics export.
+
+Three pieces, deliberately decoupled from the protocols they observe:
+
+* :mod:`repro.obs.trace` — a compact :class:`TraceContext` carried on
+  protocol-message envelopes plus a per-node/per-cluster :class:`Tracer`
+  recording spans and typed events into a bounded ring buffer with a
+  JSONL exporter. Sampling and a global enable switch keep the cost off
+  the hot path when tracing is off.
+* :mod:`repro.obs.analyze` — offline span-tree reconstruction: per-op
+  critical path, per-phase latency breakdown, infection-tree depth and
+  width, orphan detection. Drives ``repro trace --summary``.
+* :mod:`repro.obs.export` — windowed counter rates, Prometheus-text and
+  JSON metric exporters, an optional asyncio metrics endpoint and a
+  dump-on-signal hook for the runtime. Drives ``repro metrics``.
+"""
+
+from repro.obs.trace import NULL_TRACER, TraceContext, TraceEvent, Tracer
+from repro.obs.export import CounterWindows, metrics_json, prometheus_text
+
+__all__ = [
+    "NULL_TRACER",
+    "TraceContext",
+    "TraceEvent",
+    "Tracer",
+    "CounterWindows",
+    "metrics_json",
+    "prometheus_text",
+]

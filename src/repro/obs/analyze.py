@@ -1,0 +1,377 @@
+"""Offline trace analysis: span trees, critical paths, phase latency.
+
+Consumes the flat JSONL event stream produced by
+:class:`repro.obs.trace.Tracer` and rebuilds per-operation span trees:
+
+* a ``send`` event *defines* a span (its id travels on the wire) and
+  links it to its parent span; the matching ``recv`` closes it, so
+  ``t_recv - t_send`` is that hop's network latency;
+* an ``op`` event defines the root span of a client operation;
+* every other event type annotates whichever span it names.
+
+From the tree we derive what the epidemic literature calls the
+*infection tree* of an operation: depth (max hops from the root to any
+storage apply), width (applies per hop level), the critical path (the
+root → apply chain that completed last), and a per-phase latency
+breakdown keyed on protocol/message classes. Events naming spans with
+no recorded definition (sampled-out parents, ring-buffer eviction,
+traffic from a restarted tracer) are reported as *orphans* instead of
+crashing the analysis — a long-running ring buffer legitimately evicts
+prefixes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TraceEvent, load_events
+
+#: Annotation event types counted as "the payload reached storage".
+APPLY_TYPES = ("apply", "repair")
+
+
+@dataclass
+class Span:
+    """One reconstructed span (a message hop, or the root op)."""
+
+    span_id: int
+    trace_id: str
+    parent: Optional[int]
+    kind: str                      # "op" or "send"
+    node: int                      # sender (op: client node)
+    t_start: float                 # send time / op start
+    dst: Optional[int] = None
+    proto: Optional[str] = None
+    msg: Optional[str] = None
+    t_recv: Optional[float] = None
+    children: List[int] = field(default_factory=list)
+    annotations: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def hop_latency(self) -> Optional[float]:
+        if self.t_recv is None or self.kind != "send":
+            return None
+        return self.t_recv - self.t_start
+
+
+@dataclass
+class Trace:
+    """All spans of one operation (one connected tree when complete)."""
+
+    trace_id: str
+    spans: Dict[int, Span] = field(default_factory=dict)
+    root: Optional[Span] = None
+    orphan_events: List[TraceEvent] = field(default_factory=list)
+
+    # -- tree accessors ------------------------------------------------
+    def depth_of(self, span_id: int) -> int:
+        """Hops from the root (0 for the root; orphan chains count from
+        their highest known ancestor)."""
+        depth = 0
+        span = self.spans.get(span_id)
+        while span is not None and span.parent is not None:
+            depth += 1
+            span = self.spans.get(span.parent)
+            if depth > len(self.spans):  # cycle guard on corrupt input
+                break
+        return depth
+
+    def path_to_root(self, span_id: int) -> List[Span]:
+        """Spans from the root down to ``span_id`` (inclusive)."""
+        chain: List[Span] = []
+        span = self.spans.get(span_id)
+        while span is not None:
+            chain.append(span)
+            if span.parent is None:
+                break
+            span = self.spans.get(span.parent)
+            if len(chain) > len(self.spans):
+                break
+        chain.reverse()
+        return chain
+
+    def applies(self) -> List[Tuple[Span, TraceEvent]]:
+        """(span, event) for every storage apply/repair annotation."""
+        out: List[Tuple[Span, TraceEvent]] = []
+        for span in self.spans.values():
+            for event in span.annotations:
+                if event.type in APPLY_TYPES:
+                    out.append((span, event))
+        return out
+
+    def is_connected(self) -> bool:
+        """True when every span reaches the root via parent links."""
+        if self.root is None:
+            return False
+        root_id = self.root.span_id
+        for span in self.spans.values():
+            chain = self.path_to_root(span.span_id)
+            if not chain or chain[0].span_id != root_id:
+                return False
+        return True
+
+
+def build_traces(events: Iterable[TraceEvent]) -> Dict[str, Trace]:
+    """Group a flat event stream into per-operation :class:`Trace` s."""
+    traces: Dict[str, Trace] = {}
+    pending: Dict[str, List[TraceEvent]] = defaultdict(list)
+
+    for event in events:
+        trace = traces.get(event.trace_id)
+        if trace is None:
+            trace = traces[event.trace_id] = Trace(event.trace_id)
+        if event.type == "op":
+            span = Span(event.span, event.trace_id, None, "op",
+                        event.node, event.t)
+            span.annotations.append(event)
+            trace.spans[event.span] = span
+            trace.root = span
+        elif event.type == "send":
+            detail = event.detail or {}
+            span = Span(event.span, event.trace_id, event.parent, "send",
+                        event.node, event.t, dst=detail.get("dst"),
+                        proto=detail.get("proto"), msg=detail.get("msg"))
+            trace.spans[event.span] = span
+            parent = trace.spans.get(event.parent) if event.parent is not None else None
+            if parent is not None:
+                parent.children.append(event.span)
+        else:
+            pending[event.trace_id].append(event)
+
+    # Second pass: recv closures + annotations may precede their span's
+    # definition in a multi-node concatenated file, so resolve them after
+    # every span is known.
+    for trace_id, annots in pending.items():
+        trace = traces[trace_id]
+        for event in annots:
+            span = trace.spans.get(event.span)
+            if span is None:
+                trace.orphan_events.append(event)
+            elif event.type == "recv":
+                span.t_recv = event.t
+            else:
+                span.annotations.append(event)
+
+    # Sends whose parent never appeared are orphan spans too.
+    for trace in traces.values():
+        for span in trace.spans.values():
+            if span.parent is not None and span.parent not in trace.spans:
+                trace.orphan_events.extend(span.annotations)
+    return traces
+
+
+def load_traces(path: str) -> Dict[str, Trace]:
+    return build_traces(load_events(path))
+
+
+# ---------------------------------------------------------------------------
+# phase classification
+# ---------------------------------------------------------------------------
+
+#: message-name prefixes → phase label (first match wins; fall back to
+#: the protocol name).
+# First matching prefix wins, so more specific names come first
+# (``ClientReply`` before ``Client``, ``ReadReply`` before ``Read``).
+_PHASE_BY_MSG = (
+    ("ClientReply", "client-reply"),
+    ("Client", "client-request"),
+    ("StoreWrite", "coordinator-dispatch"),
+    ("StoreAck", "storage-ack"),
+    ("ReadReply", "storage-reply"),
+    ("BatchReadReply", "storage-reply"),
+    ("ScanPartial", "storage-reply"),
+    ("AggregateReply", "storage-reply"),
+    ("RebuildReply", "storage-reply"),
+    ("Read", "coordinator-dispatch"),
+    ("BatchRead", "coordinator-dispatch"),
+    ("Scan", "coordinator-dispatch"),
+    ("Aggregate", "coordinator-dispatch"),
+    ("EpidemicRead", "coordinator-dispatch"),
+    ("Rebuild", "coordinator-dispatch"),
+    ("Gossip", "gossip-hop"),
+    ("PbcastData", "gossip-hop"),
+    ("Advertisement", "gossip-lazy"),
+    ("PullRequest", "gossip-lazy"),
+    ("PullReply", "gossip-lazy"),
+    ("Digest", "antientropy"),
+    ("BucketSummary", "antientropy"),
+    ("BucketDigest", "antientropy"),
+    ("Items", "antientropy"),
+    ("PbcastDigest", "antientropy"),
+    ("PbcastSolicit", "antientropy"),
+)
+
+
+def phase_of(span: Span) -> str:
+    msg = span.msg or ""
+    for prefix, phase in _PHASE_BY_MSG:
+        if msg.startswith(prefix):
+            return phase
+    return span.proto or "unknown"
+
+
+def phase_breakdown(trace: Trace) -> Dict[str, Tuple[int, float]]:
+    """``phase -> (hop count, total hop latency)`` over closed spans."""
+    out: Dict[str, Tuple[int, float]] = {}
+    for span in trace.spans.values():
+        latency = span.hop_latency
+        if latency is None:
+            continue
+        phase = phase_of(span)
+        count, total = out.get(phase, (0, 0.0))
+        out[phase] = (count + 1, total + latency)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# per-trace summary
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceSummary:
+    trace_id: str
+    kind: str
+    start: float
+    applies: int
+    spans: int
+    depth: int                      # max hops root → apply
+    width_by_hop: Dict[int, int]    # applies per hop level
+    connected: bool
+    orphans: int
+    phases: Dict[str, Tuple[int, float]]
+    critical_path: List[Span]       # root → latest-completing apply
+    critical_latency: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace": self.trace_id,
+            "kind": self.kind,
+            "start": self.start,
+            "applies": self.applies,
+            "spans": self.spans,
+            "depth": self.depth,
+            "width_by_hop": dict(sorted(self.width_by_hop.items())),
+            "connected": self.connected,
+            "orphans": self.orphans,
+            "phases": {
+                name: {"hops": count, "total": total,
+                       "mean": total / count if count else 0.0}
+                for name, (count, total) in sorted(self.phases.items())
+            },
+            "critical_latency": self.critical_latency,
+            "critical_path": [
+                {
+                    "span": s.span_id, "node": s.node, "dst": s.dst,
+                    "proto": s.proto, "msg": s.msg, "t": s.t_start,
+                    "hop_latency": s.hop_latency,
+                }
+                for s in self.critical_path
+            ],
+        }
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    applies = trace.applies()
+    depth = 0
+    width: Dict[int, int] = defaultdict(int)
+    latest: Optional[Tuple[float, Span, TraceEvent]] = None
+    for span, event in applies:
+        hops = trace.depth_of(span.span_id)
+        depth = max(depth, hops)
+        width[hops] += 1
+        if latest is None or event.t > latest[0]:
+            latest = (event.t, span, event)
+    root = trace.root
+    kind = "?"
+    if root is not None and root.annotations:
+        kind = (root.annotations[0].detail or {}).get("kind", "?")
+    critical: List[Span] = []
+    critical_latency: Optional[float] = None
+    if latest is not None:
+        critical = trace.path_to_root(latest[1].span_id)
+        if root is not None and critical and critical[0] is root:
+            critical_latency = latest[0] - root.t_start
+    return TraceSummary(
+        trace_id=trace.trace_id,
+        kind=kind,
+        start=root.t_start if root is not None else 0.0,
+        applies=len(applies),
+        spans=len(trace.spans),
+        depth=depth,
+        width_by_hop=dict(width),
+        connected=trace.is_connected(),
+        orphans=len(trace.orphan_events),
+        phases=phase_breakdown(trace),
+        critical_path=critical,
+        critical_latency=critical_latency,
+    )
+
+
+def summarize(traces: Dict[str, Trace]) -> List[TraceSummary]:
+    return sorted((summarize_trace(t) for t in traces.values()),
+                  key=lambda s: s.start)
+
+
+# ---------------------------------------------------------------------------
+# CLI rendering
+# ---------------------------------------------------------------------------
+
+
+def _fmt_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def render_summary(summaries: List[TraceSummary], limit: int = 10,
+                   show_paths: bool = False) -> str:
+    """The ``repro trace --summary`` report."""
+    if not summaries:
+        return "no traces found"
+    lines: List[str] = []
+    total_spans = sum(s.spans for s in summaries)
+    total_orphans = sum(s.orphans for s in summaries)
+    connected = sum(1 for s in summaries if s.connected)
+    lines.append(
+        f"{len(summaries)} trace(s), {total_spans} spans, "
+        f"{connected}/{len(summaries)} connected, {total_orphans} orphan event(s)"
+    )
+    # Aggregate phase table across all traces.
+    agg: Dict[str, Tuple[int, float]] = {}
+    for s in summaries:
+        for phase, (count, total) in s.phases.items():
+            c0, t0 = agg.get(phase, (0, 0.0))
+            agg[phase] = (c0 + count, t0 + total)
+    if agg:
+        lines.append("per-phase latency (all traces):")
+        for phase, (count, total) in sorted(agg.items()):
+            lines.append(
+                f"  {phase:<22} hops={count:<6} total={_fmt_latency(total)}"
+                f"  mean={_fmt_latency(total / count)}"
+            )
+    lines.append("")
+    for s in summaries[:limit]:
+        width = "/".join(str(s.width_by_hop[h]) for h in sorted(s.width_by_hop)) or "-"
+        lines.append(
+            f"{s.trace_id:<14} {s.kind:<10} spans={s.spans:<5} applies={s.applies:<3}"
+            f" depth={s.depth} width={width:<8}"
+            f" crit={_fmt_latency(s.critical_latency):<9}"
+            f"{' CONNECTED' if s.connected else ' DISCONNECTED'}"
+            f"{'' if not s.orphans else f' orphans={s.orphans}'}"
+        )
+        if show_paths and s.critical_path:
+            for span in s.critical_path:
+                if span.kind == "op":
+                    lines.append(f"    op @node{span.node} t={span.t_start:.6g}")
+                else:
+                    lines.append(
+                        f"    {span.proto or '?'}/{span.msg or '?'}"
+                        f" node{span.node}->node{span.dst}"
+                        f" +{_fmt_latency(span.hop_latency)}"
+                    )
+    if len(summaries) > limit:
+        lines.append(f"... {len(summaries) - limit} more trace(s) omitted")
+    return "\n".join(lines)

@@ -1,0 +1,328 @@
+"""Metrics export: windowed rates, Prometheus text, JSON, endpoints.
+
+:class:`CounterWindows` turns the registry's cumulative counters into
+per-window rates (msgs/s, bytes/s per protocol) by sampling snapshots
+into :class:`~repro.sim.metrics.TimeSeries` — attach it to a simulation
+with :meth:`CounterWindows.attach` or drive :meth:`sample` yourself.
+Windowed deltas always sum back to the cumulative totals (tested as a
+property), so rate views never invent or lose traffic.
+
+Exporters are pure functions over a :class:`~repro.sim.metrics.Metrics`
+registry: :func:`prometheus_text` renders the text exposition format,
+:func:`metrics_json` a JSON document (optionally with window tables).
+For the asyncio runtime, :class:`MetricsEndpoint` serves both over a
+tiny asyncio TCP listener (``/metrics`` and ``/metrics.json``) and
+:func:`install_signal_dump` writes a dump whenever a signal (default
+``SIGUSR1``) arrives — no third-party dependencies either way.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal as signal_module
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.metrics import Metrics, TimeSeries
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+class CounterWindows:
+    """Windowed rate views over cumulative counters.
+
+    Call :meth:`sample` periodically (or :meth:`attach` to a simulation)
+    to snapshot every counter matching ``prefixes``; :meth:`rates` then
+    yields ``(t0, t1, rate_per_second)`` windows whose deltas sum to the
+    counter's cumulative total at the last sample.
+    """
+
+    def __init__(self, metrics: Metrics, prefixes: Tuple[str, ...] = ("net.",)):
+        self.metrics = metrics
+        self.prefixes = tuple(prefixes)
+        self.series: Dict[str, TimeSeries] = {}
+        self._handle = None
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, now: float) -> None:
+        """Snapshot matching counters' cumulative values at ``now``."""
+        for name, counter in self.metrics.counters.items():
+            if not name.startswith(self.prefixes):
+                continue
+            series = self.series.get(name)
+            if series is None:
+                series = self.series[name] = TimeSeries()
+                # Anchor a zero sample so the first window's delta equals
+                # the counter's full value up to that point.
+                if now > 0.0:
+                    series.record(0.0, 0.0)
+            series.record(now, counter.value)
+
+    def attach(self, sim, period: float = 1.0) -> None:
+        """Self-reschedule ``sample`` on a simulation every ``period``."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+
+        def tick() -> None:
+            self.sample(sim.now)
+            self._handle = sim.schedule(period, tick)
+
+        self._handle = sim.schedule(period, tick)
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- views ---------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def rates(self, name: str, t0: Optional[float] = None,
+              t1: Optional[float] = None) -> List[Tuple[float, float, float]]:
+        """Per-window ``(start, end, rate/s)`` for one counter.
+
+        Windows are the intervals between consecutive samples; with
+        bounds given, only samples inside ``[t0, t1]`` (via
+        :meth:`TimeSeries.window`) contribute."""
+        series = self.series.get(name)
+        if series is None:
+            return []
+        if t0 is None and t1 is None:
+            samples = series.samples()
+        else:
+            lo = t0 if t0 is not None else float("-inf")
+            hi = t1 if t1 is not None else float("inf")
+            samples = series.window(lo, hi)
+        out: List[Tuple[float, float, float]] = []
+        for prev, cur in zip(samples, samples[1:]):
+            width = cur.time - prev.time
+            if width <= 0:
+                continue
+            out.append((prev.time, cur.time, (cur.value - prev.value) / width))
+        return out
+
+    def windowed_totals(self, name: str) -> float:
+        """Sum of per-window deltas — equals the last cumulative sample."""
+        return sum((t1 - t0) * rate for t0, t1, rate in self.rates(name))
+
+    def table(self) -> Dict[str, List[Dict[str, float]]]:
+        """JSON-friendly dump of every tracked counter's windows."""
+        return {
+            name: [
+                {"t0": t0, "t1": t1, "rate": rate}
+                for t0, t1, rate in self.rates(name)
+            ]
+            for name in self.names()
+        }
+
+    def report(self, names: Optional[Iterable[str]] = None, last: int = 5) -> str:
+        """Human-readable rate table (most recent ``last`` windows)."""
+        wanted = list(names) if names is not None else self.names()
+        lines: List[str] = []
+        for name in wanted:
+            windows = self.rates(name)[-last:]
+            if not windows:
+                continue
+            cells = "  ".join(f"[{t0:g}-{t1:g}s] {rate:,.1f}/s" for t0, t1, rate in windows)
+            lines.append(f"{name}: {cells}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+_HIST_QUANTILES = (50.0, 90.0, 99.0)
+
+
+def prometheus_text(metrics: Metrics) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters become ``<name>_total`` counters, gauges stay gauges, and
+    histograms become summaries (quantiles + ``_sum``/``_count``).
+    Empty histograms export only their zero count — never NaN, which
+    Prometheus would accept but every aggregation silently poisons.
+    """
+    lines: List[str] = []
+    for name, counter in sorted(metrics.counters.items()):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {counter.value:g}")
+    for name, gauge in sorted(metrics.gauges.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {gauge.value:g}")
+    for name, hist in sorted(metrics.histograms.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        if hist.count:
+            for q in _HIST_QUANTILES:
+                lines.append(f'{prom}{{quantile="{q / 100:g}"}} {hist.percentile(q):g}')
+            lines.append(f"{prom}_sum {hist.total:g}")
+        else:
+            lines.append(f"{prom}_sum 0")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(metrics: Metrics, windows: Optional[CounterWindows] = None,
+                 ) -> Dict[str, Any]:
+    """JSON document of the full registry (plus window tables if given)."""
+    histograms: Dict[str, Dict[str, float]] = {}
+    for name, hist in metrics.histograms.items():
+        if hist.count:
+            histograms[name] = {
+                "count": hist.count,
+                "total": hist.total,
+                "mean": hist.mean,
+                "p50": hist.percentile(50),
+                "p90": hist.percentile(90),
+                "p99": hist.percentile(99),
+                "max": hist.maximum,
+            }
+        else:
+            histograms[name] = {"count": 0}
+    doc: Dict[str, Any] = {
+        "counters": {name: c.value for name, c in sorted(metrics.counters.items())},
+        "gauges": {name: g.value for name, g in sorted(metrics.gauges.items())},
+        "histograms": dict(sorted(histograms.items())),
+    }
+    if windows is not None:
+        doc["windows"] = windows.table()
+    return doc
+
+
+def write_metrics_json(path: str, metrics: Metrics,
+                       windows: Optional[CounterWindows] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_json(metrics, windows), fh, indent=2)
+        fh.write("\n")
+
+
+def render_windows_report(doc: Dict[str, Any], last: int = 6) -> str:
+    """Render a ``metrics_json`` document's window tables for the CLI."""
+    lines: List[str] = []
+    windows = doc.get("windows", {})
+    for name in sorted(windows):
+        rows = windows[name][-last:]
+        if not rows:
+            continue
+        cells = "  ".join(
+            f"[{row['t0']:g}-{row['t1']:g}s] {row['rate']:,.1f}/s" for row in rows
+        )
+        lines.append(f"{name}: {cells}")
+    if not lines:
+        lines.append("(no windowed samples in this dump)")
+    counters = doc.get("counters", {})
+    totals = [
+        f"{name}={value:g}" for name, value in sorted(counters.items())
+        if name in ("net.sent.total", "net.bytes.total", "net.delivered.total")
+    ]
+    if totals:
+        lines.append("cumulative: " + "  ".join(totals))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# runtime hooks: asyncio endpoint + dump-on-signal
+# ---------------------------------------------------------------------------
+
+
+class MetricsEndpoint:
+    """Minimal asyncio TCP endpoint serving the registry.
+
+    ``GET /metrics`` returns Prometheus text, ``GET /metrics.json`` the
+    JSON document; anything else is 404. Intended for the UDP runtime —
+    scrape a live cluster without stopping it. Port 0 picks a free port
+    (read :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, metrics: Metrics, host: str = "127.0.0.1", port: int = 0,
+                 windows: Optional[CounterWindows] = None):
+        self.metrics = metrics
+        self.host = host
+        self.port = port
+        self.windows = windows
+        self._server = None
+
+    async def start(self) -> "MetricsEndpoint":
+        import asyncio
+
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain headers; clients may pipeline nothing else.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if path == "/metrics":
+                body = prometheus_text(self.metrics).encode("utf-8")
+                ctype = "text/plain; version=0.0.4"
+                status = "200 OK"
+            elif path == "/metrics.json":
+                body = json.dumps(metrics_json(self.metrics, self.windows)).encode("utf-8")
+                ctype = "application/json"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                ctype = "text/plain"
+                status = "404 Not Found"
+            writer.write(
+                f"HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        finally:
+            writer.close()
+
+
+def install_signal_dump(
+    metrics: Metrics,
+    path: str,
+    signal_name: str = "SIGUSR1",
+    windows: Optional[CounterWindows] = None,
+    formatter: Optional[Callable[[Metrics], str]] = None,
+) -> bool:
+    """Dump the registry to ``path`` whenever ``signal_name`` arrives.
+
+    Returns False (and installs nothing) on platforms lacking the
+    signal. The previous handler is replaced — this is a debugging
+    hook for long-running runtime clusters, not a framework."""
+    signum = getattr(signal_module, signal_name, None)
+    if signum is None:
+        return False
+
+    def dump(_signum, _frame) -> None:
+        if formatter is not None:
+            text = formatter(metrics)
+        elif path.endswith(".json"):
+            text = json.dumps(metrics_json(metrics, windows), indent=2) + "\n"
+        else:
+            text = prometheus_text(metrics)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    signal_module.signal(signum, dump)
+    return True

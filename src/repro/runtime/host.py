@@ -39,6 +39,7 @@ from repro.common.codec import (
 )
 from repro.common.ids import NodeId
 from repro.common.messages import Message
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.metrics import Counter, Metrics
 from repro.sim.node import Host, Protocol
 
@@ -92,6 +93,10 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         mtu: coalescing budget in bytes; a buffer never grows past it.
         max_datagram: largest datagram handed to the socket; larger
             single frames are split into fragments and reassembled.
+        tracer: causal tracer for this node. Outgoing sends made while a
+            context is active carry a child span on the envelope (either
+            codec); incoming traced envelopes re-activate their context
+            around the handler. Timestamps are ``loop.time()`` seconds.
     """
 
     def __init__(
@@ -106,6 +111,7 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         coalesce: bool = True,
         mtu: int = 1400,
         max_datagram: int = 60000,
+        tracer: Optional[Tracer] = None,
     ):
         if mtu <= 0 or max_datagram < mtu:
             raise ValueError("need 0 < mtu <= max_datagram")
@@ -118,6 +124,7 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         self._rng = random.Random(f"{seed}/{port}")
         self._durable: Dict[str, Any] = {}
         self._codec = make_codec(codec)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.coalesce = coalesce
         self.mtu = mtu
         self.max_datagram = max_datagram
@@ -170,6 +177,10 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
     def durable(self) -> Dict[str, Any]:
         return self._durable
 
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
     # -- metric handle interning (same counter names as sim.Network) ----
     def protocol_counters(self, protocol: str) -> Tuple[Counter, Counter]:
         """Interned ``(net.sent.<p>, net.bytes.<p>)`` handles."""
@@ -199,8 +210,14 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
     def send(self, dst: NodeId, protocol: str, message: Message) -> None:
         if not self.running or self._transport is None:
             return
+        tracer = self._tracer
+        if tracer.current is not None:
+            trace = tracer.send_context(
+                self._node_id.value, dst.value, protocol, type(message).__name__, self.now)
+        else:
+            trace = None
         try:
-            envelope = self._codec.encode_envelope(self._node_id, protocol, message)
+            envelope = self._codec.encode_envelope(self._node_id, protocol, message, trace)
         except CodecError:
             self._encode_errors.inc()
             return
@@ -358,6 +375,7 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
         except CodecError:
             self._decode_errors.inc()
             return
+        tracer = self._tracer
         for envelope, size in envelopes:
             self._delivered_total.inc()
             self._delivered_bytes.inc(size)
@@ -366,7 +384,13 @@ class AsyncioNode(Host, asyncio.DatagramProtocol):
             if proto is None:
                 self._metrics.counter("node.dropped.no_protocol").inc()
                 continue
-            proto.on_message(envelope.sender, envelope.message)
+            ctx = envelope.trace
+            if ctx is not None and tracer.enabled:
+                tracer.recv(self._node_id.value, ctx, self.now, envelope.protocol)
+                with tracer.activate(ctx):
+                    proto.on_message(envelope.sender, envelope.message)
+            else:
+                proto.on_message(envelope.sender, envelope.message)
             if not self.running:
                 # A handler stopped/crashed the node; drop the rest of
                 # the datagram like any other post-crash arrival.
@@ -418,15 +442,20 @@ class LocalCluster:
         coalesce: bool = True,
         mtu: int = 1400,
         max_datagram: int = 60000,
+        tracer: Optional[Tracer] = None,
     ):
         if count <= 0:
             raise ValueError("count must be positive")
         self.metrics = Metrics()
+        # One shared tracer is safe here: all nodes run on one event loop
+        # thread, and handlers never yield while a context is active.
+        self.tracer = tracer
         codec_for = codec if callable(codec) and not isinstance(codec, type) else (lambda i: codec)
         self.nodes: List[AsyncioNode] = [
             AsyncioNode(
                 base_port + i, stack_factory, seed=seed, metrics=self.metrics,
                 codec=codec_for(i), coalesce=coalesce, mtu=mtu, max_datagram=max_datagram,
+                tracer=tracer,
             )
             for i in range(count)
         ]

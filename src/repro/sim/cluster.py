@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.ids import NodeId
+from repro.obs.trace import Tracer
 from repro.sim.metrics import Metrics
 from repro.sim.network import LatencyModel, Network
 from repro.sim.node import Node, NodeState, StackFactory
@@ -27,13 +28,15 @@ class Cluster:
         loss_rate: float = 0.0,
         metrics: Optional[Metrics] = None,
         byte_model: str = "estimate",
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         if network is not None:
             self.network = network
         else:
             self.network = Network(sim, latency=latency, loss_rate=loss_rate,
-                                   metrics=metrics, byte_model=byte_model)
+                                   metrics=metrics, byte_model=byte_model,
+                                   tracer=tracer)
         self.metrics = self.network.metrics
         self._nodes: Dict[NodeId, Node] = {}
         self._next_id = 0

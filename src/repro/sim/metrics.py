@@ -9,6 +9,7 @@ time-series samples — because everything downstream is offline analysis.
 from __future__ import annotations
 
 import math
+import random
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -46,40 +47,74 @@ class Gauge:
 class Histogram:
     """Accumulates observations; exposes summary statistics.
 
-    Percentile queries sort lazily and cache the sorted view; the cache
-    is invalidated by :meth:`observe`, so report generation that asks
-    for many percentiles stays linear instead of re-sorting per call.
+    Running ``(sum, count, min, max)`` make :attr:`total`/:attr:`mean`
+    O(1) regardless of how many values were observed. Percentile queries
+    sort lazily and cache the sorted view; the cache is invalidated by
+    :meth:`observe`, so report generation that asks for many percentiles
+    stays linear instead of re-sorting per call.
+
+    With ``reservoir_size`` set, only that many values are retained
+    (Vitter's Algorithm R, deterministic per-histogram RNG): summary
+    stats stay exact while percentiles become a uniform-sample estimate,
+    bounding memory on long sweeps.
     """
 
-    __slots__ = ("_values", "_sorted")
+    __slots__ = ("_values", "_sorted", "_sum", "_count", "_min", "_max",
+                 "_reservoir_size", "_rng")
 
-    def __init__(self) -> None:
+    def __init__(self, reservoir_size: Optional[int] = None, seed: int = 0) -> None:
+        if reservoir_size is not None and reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
         self._values: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed) if reservoir_size is not None else None
 
     def observe(self, value: float) -> None:
-        self._values.append(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        size = self._reservoir_size
+        if size is None or len(self._values) < size:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot >= size:
+                return  # sample rejected; stored values (and cache) unchanged
+            self._values[slot] = value
         self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._values)
+        return self._sum
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._values) if self._values else math.nan
+        return self._sum / self._count if self._count else math.nan
 
     @property
     def minimum(self) -> float:
-        return min(self._values) if self._values else math.nan
+        return self._min if self._count else math.nan
 
     @property
     def maximum(self) -> float:
-        return max(self._values) if self._values else math.nan
+        return self._max if self._count else math.nan
+
+    @property
+    def sampled(self) -> bool:
+        """True when the reservoir has discarded at least one value."""
+        return self._count > len(self._values)
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, q in [0, 100]."""
@@ -124,6 +159,15 @@ class TimeSeries:
     def samples(self) -> List[Sample]:
         return list(self._samples)
 
+    def window(self, t0: float, t1: float) -> List[Sample]:
+        """Samples with ``t0 <= time <= t1``, in recorded order.
+
+        The windowed rate views build on this to slice a cumulative
+        series without copying the whole history first."""
+        if t1 < t0:
+            raise ValueError(f"empty window: t1={t1} < t0={t0}")
+        return [s for s in self._samples if t0 <= s.time <= t1]
+
     def last(self) -> Optional[Sample]:
         return self._samples[-1] if self._samples else None
 
@@ -155,8 +199,12 @@ class Metrics:
     def gauge(self, name: str) -> Gauge:
         return self.gauges[name]
 
-    def histogram(self, name: str) -> Histogram:
-        return self.histograms[name]
+    def histogram(self, name: str, reservoir_size: Optional[int] = None) -> Histogram:
+        """Intern a histogram; ``reservoir_size`` only applies on first use."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(reservoir_size=reservoir_size)
+        return hist
 
     def timeseries(self, name: str) -> TimeSeries:
         return self.series[name]
@@ -167,9 +215,18 @@ class Metrics:
         return counter.value if counter is not None else 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat name->value view of counters and gauges (for reports)."""
+        """Flat name->value view of counters, gauges and histogram
+        summaries (``<name>.count/.total/.mean/.p50/.p99/.max``)."""
         flat = {name: c.value for name, c in self.counters.items()}
         flat.update({name: g.value for name, g in self.gauges.items()})
+        for name, hist in self.histograms.items():
+            flat[f"{name}.count"] = float(hist.count)
+            if hist.count:
+                flat[f"{name}.total"] = hist.total
+                flat[f"{name}.mean"] = hist.mean
+                flat[f"{name}.p50"] = hist.percentile(50)
+                flat[f"{name}.p99"] = hist.percentile(99)
+                flat[f"{name}.max"] = hist.maximum
         return flat
 
     def report(self, prefixes: Optional[Iterable[str]] = None) -> str:
@@ -180,7 +237,10 @@ class Metrics:
         for name, gauge in sorted(self.gauges.items()):
             lines.append((name, f"{gauge.value:g}"))
         for name, hist in sorted(self.histograms.items()):
-            lines.append((name, f"n={hist.count} mean={hist.mean:.4g} p99={hist.percentile(99):.4g}"))
+            if hist.count:
+                lines.append((name, f"n={hist.count} mean={hist.mean:.4g} p99={hist.percentile(99):.4g}"))
+            else:
+                lines.append((name, "n=0"))
         if prefixes is not None:
             wanted = tuple(prefixes)
             lines = [(n, v) for n, v in lines if n.startswith(wanted)]

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.common.ids import NodeId
 from repro.common.messages import Message
+from repro.obs.trace import NULL_TRACER, TraceContext, Tracer
 from repro.sim.metrics import Counter, Metrics
 from repro.sim.simulator import Simulation
 
@@ -90,6 +91,12 @@ class Network:
             (the cheap ``Message.size_bytes`` walk, the default) or
             "encoded" (the real binary-codec frame size, making sim byte
             curves directly comparable to the binary asyncio runtime).
+        tracer: causal tracer shared by every node on this network; when
+            a trace context is active at send time, the message carries a
+            child span and delivery re-activates it around the handler,
+            so causality propagates across hops without protocol changes.
+            Defaults to the disabled no-op tracer (zero hot-path cost
+            beyond one attribute load and a branch).
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class Network:
         loss_rate: float = 0.0,
         metrics: Optional[Metrics] = None,
         byte_model: str = "estimate",
+        tracer: Optional[Tracer] = None,
     ):
         if not 0 <= loss_rate < 1:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -117,6 +125,7 @@ class Network:
         self.latency = latency if latency is not None else UniformLatency()
         self.loss_rate = loss_rate
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._nodes: Dict[NodeId, "Node"] = {}
         self._rng = sim.rng("network")
         # Optional reachability predicate for partitions: return False to
@@ -240,13 +249,22 @@ class Network:
         if self.reorder_rate > 0 and self._rng.random() < self.reorder_rate:
             delay += self.reorder_delay
             self._injected_reordered.inc()
-        self.sim.schedule_call(delay, self._deliver, src, dst, protocol, message)
+        tracer = self.tracer
+        if tracer.current is not None:
+            # An operation is being traced: this message becomes a child
+            # span and carries the context to the receiver.
+            ctx = tracer.send_context(
+                src.value, dst.value, protocol, type(message).__name__, self.sim.now)
+        else:
+            ctx = None
+        self.sim.schedule_call(delay, self._deliver, src, dst, protocol, message, ctx)
         if self.duplicate_rate > 0 and self._rng.random() < self.duplicate_rate:
             extra = self.latency.sample(self._rng, src, dst) + self.extra_delay
             self._injected_duplicates.inc()
-            self.sim.schedule_call(extra, self._deliver, src, dst, protocol, message)
+            self.sim.schedule_call(extra, self._deliver, src, dst, protocol, message, ctx)
 
-    def _deliver(self, src: NodeId, dst: NodeId, protocol: str, message: Message) -> None:
+    def _deliver(self, src: NodeId, dst: NodeId, protocol: str, message: Message,
+                 ctx: Optional[TraceContext] = None) -> None:
         if self._reachable is not None and not self._reachable(src, dst):
             # The partition started while this message was in flight.
             self._dropped_partition.inc()
@@ -256,7 +274,13 @@ class Network:
             self._dropped_down.inc()
             return
         self._delivered_total.inc()
-        node.handle_message(src, protocol, message)
+        if ctx is not None:
+            tracer = self.tracer
+            tracer.recv(dst.value, ctx, self.sim.now, protocol)
+            with tracer.activate(ctx):
+                node.handle_message(src, protocol, message)
+        else:
+            node.handle_message(src, protocol, message)
 
     # ------------------------------------------------------------------
     @property

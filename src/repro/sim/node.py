@@ -27,6 +27,7 @@ from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence
 from repro.common.errors import NodeDownError
 from repro.common.ids import NodeId
 from repro.common.messages import Message
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 from repro.sim.simulator import EventHandle, Simulation
@@ -71,6 +72,13 @@ class Host(ABC):
     @abstractmethod
     def protocol(self, name: str) -> "Protocol":
         """Look up a sibling protocol on the same node by name."""
+
+    @property
+    def tracer(self) -> Tracer:
+        """The causal tracer observing this node (a disabled no-op one
+        unless the host was configured with tracing; protocols can call
+        it unconditionally)."""
+        return NULL_TRACER
 
 
 class Protocol:
@@ -220,6 +228,10 @@ class Node(Host):
     @property
     def durable(self) -> Dict[str, Any]:
         return self._durable
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.network.tracer
 
     def send(self, dst: NodeId, protocol: str, message: Message) -> None:
         if self.state is not NodeState.UP:

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.ids import NodeId
 from repro.common.messages import Message, message_type
+from repro.obs.trace import TraceContext
 from repro.softstate.cache import TupleCache
 from repro.softstate.messages import (
     AggregateReply,
@@ -122,6 +123,10 @@ class _WriteState:
     acks: Set[NodeId] = field(default_factory=set)
     retries_left: int = 0
     replied: bool = False
+    # Trace context of the originating client op, captured at dispatch so
+    # timer-driven retries re-join the op's causal tree (timers otherwise
+    # break the ambient-context chain).
+    ctx: Optional[TraceContext] = None
 
 
 @dataclass
@@ -135,6 +140,7 @@ class _ReadState:
     last_entry: Optional[NodeId] = None
     done: bool = False
     on_done: Optional[Callable[[str, Optional[VersionedTuple]], None]] = None
+    ctx: Optional[TraceContext] = None  # see _WriteState.ctx
 
 
 @dataclass
@@ -304,6 +310,7 @@ class SoftStateProtocol(Protocol):
             client=client,
             item=item,
             retries_left=self.config.write_retries,
+            ctx=self.host.tracer.current,
         )
         self._writes[(key, version.packed())] = state
         self._dispatch_write(state)
@@ -326,7 +333,10 @@ class SoftStateProtocol(Protocol):
         if state.retries_left > 0:
             state.retries_left -= 1
             self.host.metrics.counter("soft.write_retries").inc()
-            self._dispatch_write(state)
+            # Timer context: re-activate the op's trace so the retry's
+            # StoreWrite stays in its causal tree.
+            with self.host.tracer.activate(state.ctx):
+                self._dispatch_write(state)
         else:
             self._write_failed(state)
 
@@ -335,6 +345,8 @@ class SoftStateProtocol(Protocol):
         self._fallback_store()[state.item.key] = state.item
         self._add_hint(state.item.key, self.host.node_id)
         self.host.metrics.counter("soft.write_fallback").inc()
+        self.host.tracer.event("fallback-park", self.host.node_id.value, self.host.now,
+                               ctx=state.ctx, key=state.item.key)
         if not state.replied:
             state.replied = True
             self._reply(state.client, state.request_id, ok=True, value=self._version_view(state.item))
@@ -428,6 +440,7 @@ class SoftStateProtocol(Protocol):
             key=key,
             min_version=min_version,
             on_done=on_done,
+            ctx=self.host.tracer.current,
         )
         self._reads[read_id] = state
         hints = sorted(meta.hints, key=lambda n: n.value) if meta is not None else []
@@ -467,8 +480,10 @@ class SoftStateProtocol(Protocol):
             self.config.epidemic_read_fallback
             and state.flood_attempts <= self.config.flood_retries
         ):
-            # Hinted probes (or a previous flood) went unanswered — escalate.
-            self._flood_read(read_id, state)
+            # Hinted probes (or a previous flood) went unanswered — escalate
+            # under the op's trace context (timers drop the ambient one).
+            with self.host.tracer.activate(state.ctx):
+                self._flood_read(read_id, state)
             self.host.set_timer(self.config.read_timeout, lambda: self._read_deadline(read_id))
             return
         self._finish_read(read_id, state, state.best)

@@ -104,3 +104,144 @@ class TestRegistry:
         metrics = Metrics()
         metrics.histogram("lat").observe(0.5)
         assert "lat" in metrics.report()
+
+    def test_report_empty_histogram_has_no_nan(self):
+        metrics = Metrics()
+        metrics.histogram("lat")  # interned but never observed
+        report = metrics.report()
+        assert "nan" not in report
+        assert "n=0" in report
+
+    def test_snapshot_histogram_summaries(self):
+        metrics = Metrics()
+        hist = metrics.histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        metrics.histogram("empty")
+        snap = metrics.snapshot()
+        assert snap["lat.count"] == 3
+        assert snap["lat.total"] == 6.0
+        assert snap["lat.mean"] == 2.0
+        assert snap["lat.max"] == 3.0
+        assert snap["empty.count"] == 0
+        assert "empty.mean" not in snap
+
+    def test_counter_pair_handles_survive_snapshot(self):
+        # Regression: interned handles must stay live through snapshot()
+        # (hot paths hold them across report boundaries).
+        metrics = Metrics()
+        sent, delivered = metrics.counter_pair("net.sent", "net.delivered")
+        sent.inc(3)
+        metrics.snapshot()
+        sent.inc(2)
+        delivered.inc()
+        assert metrics.counter_value("net.sent") == 5
+        assert metrics.counter_value("net.delivered") == 1
+        assert metrics.counter("net.sent") is sent
+
+
+class TestHistogramRunningStats:
+    def test_stats_exact_under_reservoir(self):
+        import random as stdlib_random
+
+        rng = stdlib_random.Random(7)
+        values = [rng.uniform(0, 100) for _ in range(5000)]
+        hist = Histogram(reservoir_size=64)
+        for v in values:
+            hist.observe(v)
+        # summary stats come from running accumulators, not the sample
+        assert hist.count == 5000
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.mean == pytest.approx(sum(values) / 5000)
+        assert hist.minimum == min(values)
+        assert hist.maximum == max(values)
+        assert hist.sampled  # reservoir discarded values
+
+    def test_reservoir_percentile_is_estimate(self):
+        hist = Histogram(reservoir_size=200)
+        for v in range(10_000):
+            hist.observe(float(v))
+        # a uniform sample of 0..9999 should put p50 near 5000
+        assert 3000 < hist.percentile(50) < 7000
+
+    def test_reservoir_deterministic(self):
+        def fill():
+            h = Histogram(reservoir_size=16, seed=3)
+            for v in range(1000):
+                h.observe(float(v))
+            return h.percentile(50)
+
+        assert fill() == fill()
+
+    def test_unbounded_keeps_everything(self):
+        hist = Histogram()
+        for v in range(1000):
+            hist.observe(float(v))
+        assert not hist.sampled
+        assert hist.percentile(50) in (499.0, 500.0)  # nearest rank
+
+    def test_rejects_bad_reservoir_size(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_size=0)
+
+
+class TestTimeSeriesWindow:
+    def test_window_bounds_inclusive(self):
+        series = TimeSeries()
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            series.record(t, t * 10)
+        window = series.window(1.0, 3.0)
+        assert [s.time for s in window] == [1.0, 2.0, 3.0]
+
+    def test_window_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            TimeSeries().window(2.0, 1.0)
+
+    def test_window_empty_series(self):
+        assert TimeSeries().window(0.0, 10.0) == []
+
+
+class TestCounterWindows:
+    def test_windowed_rates_sum_to_cumulative(self):
+        # Property: for any increment pattern, the per-window deltas
+        # reconstruct the cumulative counter total exactly.
+        import random as stdlib_random
+
+        from repro.obs.export import CounterWindows
+
+        rng = stdlib_random.Random(11)
+        for trial in range(20):
+            metrics = Metrics()
+            counter = metrics.counter("net.sent.trial")
+            windows = CounterWindows(metrics, prefixes=("net.",))
+            now = 0.0
+            for _ in range(rng.randrange(2, 30)):
+                now += rng.uniform(0.1, 5.0)
+                counter.inc(rng.randrange(0, 1000))
+                windows.sample(now)
+            total = windows.windowed_totals("net.sent.trial")
+            assert total == pytest.approx(counter.value), f"trial {trial}"
+
+    def test_rates_respect_window_bounds(self):
+        from repro.obs.export import CounterWindows
+
+        metrics = Metrics()
+        counter = metrics.counter("net.sent.x")
+        windows = CounterWindows(metrics, prefixes=("net.",))
+        for t in (1.0, 2.0, 3.0, 4.0):
+            counter.inc(10)
+            windows.sample(t)
+        all_rates = windows.rates("net.sent.x")
+        bounded = windows.rates("net.sent.x", t0=2.0, t1=4.0)
+        assert len(bounded) < len(all_rates)
+        assert all(t0 >= 2.0 and t1 <= 4.0 for t0, t1, _ in bounded)
+
+    def test_only_prefixed_counters_tracked(self):
+        from repro.obs.export import CounterWindows
+
+        metrics = Metrics()
+        metrics.counter("net.sent.y").inc()
+        metrics.counter("gossip.delivered").inc()
+        windows = CounterWindows(metrics, prefixes=("net.",))
+        windows.sample(1.0)
+        assert windows.names() == ["net.sent.y"]

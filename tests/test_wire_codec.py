@@ -216,11 +216,100 @@ class TestMalformedFrames:
             decode_datagram(b"{not json")
 
     def test_trailing_bytes_after_envelope(self):
+        # Bytes after the message are tried as the optional trace field;
+        # garbage there must still surface as a CodecError, never decode.
         codec = BinaryCodec()
         envelope = codec.encode_envelope(new_node_id(), "p", _WireProbe())
         frame = codec.frame([envelope + b"xx"])
-        with pytest.raises(CodecError, match="trailing bytes"):
+        with pytest.raises(CodecError,
+                           match="trailing bytes|unknown binary value tag|malformed trace"):
             decode_datagram(frame)
+
+
+class TestTraceField:
+    """The optional trace envelope field: present when given, absent and
+    backward-compatible when not."""
+
+    def setup_method(self):
+        from repro.obs.trace import TraceContext
+
+        self.sender = new_node_id("trace-test")
+        self.msg = _WireProbe(text="traced", number=9)
+        self.ctx = TraceContext(trace_id="t3-52", span_id=17, hop=2,
+                                origin_time=12.5)
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_traced_roundtrip(self, codec_name):
+        codec = make_codec(codec_name)
+        frame = codec.frame([codec.encode_envelope(
+            self.sender, "p", self.msg, self.ctx)])
+        [envelope] = decode_datagram(frame)
+        assert envelope.message == self.msg
+        assert envelope.trace == self.ctx
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_untraced_frame_decodes_with_none(self, codec_name):
+        # A v0x01 frame (sender without the trace field) must decode on
+        # trace-aware nodes with trace=None.
+        codec = make_codec(codec_name)
+        frame = codec.frame([codec.encode_envelope(self.sender, "p", self.msg)])
+        [envelope] = decode_datagram(frame)
+        assert envelope.message == self.msg
+        assert envelope.trace is None
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_traced_frame_readable_by_non_tracing_node(self, codec_name):
+        # Decoding is stateless: a receiver with tracing disabled gets
+        # the same message and may simply ignore envelope.trace.
+        codec = make_codec(codec_name)
+        frame = codec.frame([codec.encode_envelope(
+            self.sender, "p", self.msg, self.ctx)])
+        [envelope] = decode_datagram(frame)
+        assert envelope.message == self.msg
+        # nothing about the trace is required to process the message
+        assert envelope.protocol == "p"
+
+    def test_json_malformed_trace_rejected(self):
+        import json as json_module
+
+        codec = Codec()
+        frame = codec.encode(self.sender, "p", self.msg, self.ctx)
+        doc = json_module.loads(frame.decode("utf-8"))
+        for bad in ([], ["only-id"], ["id", "not-int", 0, 0.0],
+                    [1, 2, 3, 4], "not-a-list"):
+            doc["trace"] = bad
+            with pytest.raises(CodecError, match="malformed trace"):
+                codec.decode(json_module.dumps(doc).encode("utf-8"))
+
+    def test_binary_trace_field_byte_flips_fail_cleanly(self):
+        # Extend the byte-flip fuzz to the trace field region: flipping
+        # bits in the appended trace tuple must decode or raise
+        # CodecError, never escape another exception type.
+        codec = BinaryCodec()
+        bare = codec.encode_envelope(self.sender, "p", self.msg)
+        traced = codec.encode_envelope(self.sender, "p", self.msg, self.ctx)
+        assert len(traced) > len(bare)
+        rng = random.Random(0x7ACE)
+        for _ in range(200):
+            corrupted = bytearray(traced)
+            # target the trace suffix specifically
+            index = rng.randrange(len(bare), len(traced))
+            corrupted[index] ^= 1 << rng.randrange(8)
+            try:
+                decode_datagram(codec.frame([bytes(corrupted)]))
+            except CodecError:
+                pass
+
+    def test_multi_envelope_mixed_tracing(self):
+        # Coalesced datagrams may mix traced and untraced envelopes.
+        codec = BinaryCodec()
+        envelopes = [
+            codec.encode_envelope(self.sender, "p", self.msg, self.ctx),
+            codec.encode_envelope(self.sender, "p", self.msg),
+            codec.encode_envelope(self.sender, "p", self.msg, self.ctx),
+        ]
+        decoded = decode_datagram(codec.frame(envelopes))
+        assert [env.trace for env in decoded] == [self.ctx, None, self.ctx]
 
 
 class TestNonFiniteFloats:
