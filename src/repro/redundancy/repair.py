@@ -29,8 +29,14 @@ from repro.epidemic.antientropy import (
     VersionedItem,
 )
 from repro.sieve.base import Sieve
+from repro.sieve.vectorized import BatchAdmission
 from repro.store.memtable import Memtable
 from repro.store.tuples import Version, VersionedTuple
+
+#: Below this many items a bucket is re-sieved per item: the batch
+#: planner's per-call setup (grid resolution, array build) only pays for
+#: itself on wider buckets.
+_BATCH_MIN = 16
 
 #: Supplies the current same-range peer candidates (census discoveries).
 PeerSource = Callable[[], List[NodeId]]
@@ -47,6 +53,7 @@ class RangeScopedStore(BucketedStore):
     def __init__(self, memtable: Memtable, sieve: Sieve):
         self.memtable = memtable
         self.sieve = sieve
+        self._batch = BatchAdmission(sieve)
         #: bucket -> {key: packed version} of *admitted* items.
         self._scoped: Dict[int, Dict[str, int]] = {}
         #: bucket -> (xor, count) over the scoped entries.
@@ -89,10 +96,20 @@ class RangeScopedStore(BucketedStore):
                 continue  # clean bucket: cached admissions still valid
             entries: Dict[str, int] = {}
             xor = 0
-            for key in memtable.bucket_keys(bucket):
-                item = memtable.get_any(key)
-                if item is None or not admits(item.key, item.record):
+            present = [
+                item for item in (
+                    memtable.get_any(key) for key in memtable.bucket_keys(bucket))
+                if item is not None
+            ]
+            if len(present) >= _BATCH_MIN:
+                flags = self._batch.admits_batch(
+                    [(item.key, item.record) for item in present])
+            else:
+                flags = [admits(item.key, item.record) for item in present]
+            for item, admitted in zip(present, flags):
+                if not admitted:
                     continue
+                key = item.key
                 entries[key] = item.version.packed()
                 fp = memtable.fingerprint_of(key)
                 if fp is not None:
@@ -132,9 +149,16 @@ class RangeScopedStore(BucketedStore):
 
     def apply(self, items: Iterable[VersionedItem]) -> int:
         changed = 0
-        for key, packed, payload in items:
+        items = list(items)
+        if len(items) >= _BATCH_MIN:
+            flags = self._batch.admits_batch(
+                [(key, payload[0]) for key, _, payload in items])
+        else:
+            flags = [
+                self.sieve.admits(key, payload[0]) for key, _, payload in items]
+        for (key, packed, payload), admitted in zip(items, flags):
             record, tombstone = payload
-            if not self.sieve.admits(key, record):
+            if not admitted:
                 continue
             incoming = VersionedTuple(
                 key=key,

@@ -13,7 +13,10 @@ keep each item. Variants:
 * :class:`UnionSieve` and friends — composition and test baselines.
 
 :mod:`repro.sieve.coverage` checks the paper's coverage/replication
-correctness requirement over sieve populations.
+correctness requirement over sieve populations, and
+:class:`BatchAdmission` (:mod:`repro.sieve.vectorized`) evaluates any
+sieve over key batches — numpy-accelerated when available, bit-exact
+either way.
 """
 
 from repro.sieve.adaptive import DistributionAwareSieve
@@ -28,14 +31,17 @@ from repro.sieve.keyspace import (
     node_position,
 )
 from repro.sieve.uniform import UniformSieve
+from repro.sieve.vectorized import HAVE_NUMPY, BatchAdmission, measure_admission
 
 __all__ = [
     "AcceptAllSieve",
     "AcceptNothingSieve",
+    "BatchAdmission",
     "BucketSieve",
     "CapacityScaledSieve",
     "CoverageReport",
     "DistributionAwareSieve",
+    "HAVE_NUMPY",
     "Record",
     "Sieve",
     "StaticArcSieve",
@@ -46,6 +52,7 @@ __all__ = [
     "bucket_count_for",
     "coverage_report",
     "field_tag",
+    "measure_admission",
     "node_position",
     "prefix_tag",
     "range_population",

@@ -11,6 +11,9 @@ Public surface:
 * :class:`Metrics` — counters/histograms/time series for experiments.
 * :func:`run_sweep` / :func:`grid` — parallel, deterministic experiment
   sweeps over ``(config, seed)`` grids.
+* :func:`run_sharded` / :class:`ShardPlan` — multi-process sharded runs
+  of one big simulation with conservative tick barriers and a
+  byte-for-byte deterministic merge.
 """
 
 from repro.sim.churn import (
@@ -29,6 +32,17 @@ from repro.sim.network import (
     UniformLatency,
 )
 from repro.sim.node import Host, Node, NodeState, PeriodicTimer, Protocol, StackFactory
+from repro.sim.shard import (
+    MirroredPoissonChurn,
+    ShardContext,
+    ShardError,
+    ShardPlan,
+    ShardProgram,
+    ShardRunResult,
+    ShardWorkerError,
+    run_sharded,
+    shard_ranges,
+)
 from repro.sim.simulator import EventHandle, Simulation
 from repro.sim.sweep import (
     CellResult,
@@ -53,12 +67,19 @@ __all__ = [
     "LatencyModel",
     "LogNormalLatency",
     "Metrics",
+    "MirroredPoissonChurn",
     "Network",
     "Node",
     "NodeState",
     "PeriodicTimer",
     "PoissonChurn",
     "Protocol",
+    "ShardContext",
+    "ShardError",
+    "ShardPlan",
+    "ShardProgram",
+    "ShardRunResult",
+    "ShardWorkerError",
     "Simulation",
     "StackFactory",
     "SweepCell",
@@ -68,5 +89,7 @@ __all__ = [
     "UniformLatency",
     "grid",
     "require_ok",
+    "run_sharded",
     "run_sweep",
+    "shard_ranges",
 ]

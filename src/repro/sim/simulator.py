@@ -123,6 +123,21 @@ class Simulation:
         heapq.heappush(self._queue, (time, next(self._seq), event))
         return EventHandle(event)
 
+    def schedule_call_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Fast-path absolute-time schedule: run ``callback(*args)`` at ``time``.
+
+        The absolute-time twin of :meth:`schedule_call`, used by the
+        sharded engine to replay cross-shard deliveries at the exact
+        virtual time the sending shard stamped on them.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = _Event(time, callback, args)
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+        return EventHandle(event)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

@@ -26,11 +26,14 @@ A cell that raises is reported as an error on its own
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
 
 #: A cell function: ``(config, seed) -> metrics mapping``. Must live at
 #: module top level and draw all randomness from ``seed``.
@@ -89,26 +92,42 @@ def run_sweep(
 
     Args:
         fn: module-level cell function ``(config, seed) -> dict``.
-        workers: process count; ``None`` picks ``min(len(cells), cpu)``,
-            ``1`` (or a single cell) runs inline with no subprocesses.
+        workers: process count, clamped to ``len(cells)`` (extra workers
+            would only add fork cost); ``None`` picks
+            ``min(len(cells), cpu)``, ``1`` (or a single cell) runs
+            inline with no subprocesses.
         chunksize: cells handed to a worker per dispatch.
 
     Returns:
         One :class:`CellResult` per cell, in cell order regardless of
         completion order or worker count. A cell whose function raised
         carries the traceback in ``error``; the rest are unaffected.
+        If the host cannot fork worker processes at all (no
+        ``multiprocessing`` start method — some sandboxes and embedded
+        interpreters), the sweep logs a warning and runs every cell
+        inline instead of crashing; results are identical by the
+        determinism contract, just slower.
     """
     cells = list(cells)
     if not cells:
         return []
     if workers is None:
         workers = min(len(cells), os.cpu_count() or 1)
+    workers = min(workers, len(cells))
     payloads = [(index, fn, cell.config, cell.seed) for index, cell in enumerate(cells)]
-    if workers <= 1 or len(cells) == 1:
+    if workers <= 1:
         raw = [_run_cell(payload) for payload in payloads]
     else:
-        with multiprocessing.get_context().Pool(processes=min(workers, len(cells))) as pool:
-            raw = list(pool.imap_unordered(_run_cell, payloads, chunksize=chunksize))
+        try:
+            pool = multiprocessing.get_context().Pool(processes=workers)
+        except (OSError, ValueError, RuntimeError, PermissionError) as exc:
+            logger.warning(
+                "multiprocessing unavailable (%s); running %d sweep cell(s) inline",
+                exc, len(cells))
+            raw = [_run_cell(payload) for payload in payloads]
+        else:
+            with pool:
+                raw = list(pool.imap_unordered(_run_cell, payloads, chunksize=chunksize))
     raw.sort(key=lambda item: item[0])
     return [
         CellResult(index=index, config=cells[index].config, seed=cells[index].seed,

@@ -8,7 +8,7 @@ import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
 
-from _helpers import _fmt, print_table  # noqa: E402
+from _helpers import _fmt, print_table, write_artifact  # noqa: E402
 
 
 class TestFormatting:
@@ -35,3 +35,46 @@ class TestPrintTable:
     def test_empty_rows(self, capsys):
         text = print_table("empty", ["x"], [])
         assert "empty" in text
+
+
+class TestWriteArtifact:
+    def test_writes_stable_layout(self, tmp_path):
+        path = write_artifact(
+            "e99", {"speedup": 3.25, "n": 10},
+            gates={"fast_enough": True, "identical": True},
+            directory=str(tmp_path))
+        assert os.path.basename(path) == "BENCH_e99.json"
+        import json
+
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["id"] == "e99"
+        assert doc["metrics"] == {"speedup": 3.25, "n": 10}
+        assert doc["gates"] == {"fast_enough": True, "identical": True}
+        assert doc["passed"] is True
+        assert doc["unix_time"] > 0
+
+    def test_failed_gate_fails_overall(self, tmp_path):
+        import json
+
+        path = write_artifact(
+            "e99", {}, gates={"a": True, "b": False}, directory=str(tmp_path))
+        with open(path) as fh:
+            assert json.load(fh)["passed"] is False
+
+    def test_no_gates_is_vacuously_passed(self, tmp_path):
+        import json
+
+        path = write_artifact("e99", {"x": 1}, directory=str(tmp_path))
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["gates"] == {} and doc["passed"] is True
+
+    def test_non_serialisable_metrics_are_stringified(self, tmp_path):
+        import json
+
+        path = write_artifact(
+            "e99", {"obj": object()}, gates={"ok": True}, directory=str(tmp_path))
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert isinstance(doc["metrics"]["obj"], str)

@@ -95,3 +95,51 @@ class TestSweepErrorIsolation:
         cells = [SweepCell({"bad_seed": -1}, seed) for seed in (1, 2)]
         results = run_sweep(_crashy_cell, cells, workers=1)
         assert require_ok(results) == results
+
+
+class TestWorkerProvisioning:
+    def test_workers_clamped_to_cell_count(self, monkeypatch):
+        """Asking for 8 workers with 2 cells must start at most 2."""
+        from repro.sim import sweep as sweep_module
+
+        requested = {}
+
+        class _RecordingContext:
+            def Pool(self, processes):
+                requested["processes"] = processes
+                raise RuntimeError("stop here - pool size recorded")
+
+        monkeypatch.setattr(
+            sweep_module.multiprocessing, "get_context", lambda: _RecordingContext())
+        cells = [SweepCell({"bad_seed": -1}, seed) for seed in (1, 2)]
+        results = run_sweep(_crashy_cell, cells, workers=8)
+        assert requested["processes"] == 2
+        assert [r.result["value"] for r in results] == [10.0, 20.0]
+
+    def test_single_cell_never_forks(self, monkeypatch):
+        from repro.sim import sweep as sweep_module
+
+        def _boom():
+            raise AssertionError("a single cell must run inline")
+
+        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", _boom)
+        results = run_sweep(_crashy_cell, [SweepCell({"bad_seed": -1}, 4)], workers=6)
+        assert results[0].result == {"seed": 4, "value": 40.0}
+
+    def test_mp_unavailable_falls_back_inline(self, monkeypatch, caplog):
+        """No multiprocessing start method -> warn once, run inline,
+        identical results (sandboxes, embedded interpreters)."""
+        import logging
+
+        from repro.sim import sweep as sweep_module
+
+        def _unavailable():
+            raise OSError("fork unavailable in this environment")
+
+        monkeypatch.setattr(sweep_module.multiprocessing, "get_context", _unavailable)
+        cells = [SweepCell({"bad_seed": -1}, seed) for seed in (1, 2, 3)]
+        with caplog.at_level(logging.WARNING, logger="repro.sim.sweep"):
+            results = run_sweep(_crashy_cell, cells, workers=3)
+        assert any("multiprocessing unavailable" in r.message for r in caplog.records)
+        assert all(r.ok for r in results)
+        assert results == run_sweep(_crashy_cell, cells, workers=1)
