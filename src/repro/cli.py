@@ -224,12 +224,14 @@ def _write_artifact(bench_id: str, metrics: dict, gates: dict) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "e05b":
+        return _bench_e05b(args)
     if args.experiment == "e16":
         return _bench_e16(args)
     if args.experiment == "e17":
         return _bench_e17(args)
     if args.experiment != "e15":
-        print(f"unknown bench {args.experiment!r}; available: e15, e16, e17",
+        print(f"unknown bench {args.experiment!r}; available: e05b, e15, e16, e17",
               file=sys.stderr)
         return 2
     from repro.epidemic.costbench import measure_antientropy_cost
@@ -268,6 +270,80 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         }, gates)
         print("check:", "ok" if ok else "FAILED "
               "(need >=2x digest reduction and identical converged stores)")
+        return 0 if ok else 1
+    return 0
+
+
+def _bench_e05b(args: argparse.Namespace) -> int:
+    """Routing three-way: Chord vs heartbeat-mesh ring vs single-hop.
+
+    One row per mode at the same population size under PoissonChurn:
+    lookup path length (messages to reach the key's coordinator),
+    latency percentiles, and steady-state maintenance bytes/node/s.
+    The mesh row is simulated up to ``--mesh-cap`` nodes and linearly
+    extrapolated beyond (per-node heartbeat cost is exactly O(N));
+    chord and onehop rows are always fully simulated.
+    """
+    from repro.baselines.routebench import gate_results, three_way
+
+    n = args.nodes if args.nodes is not None else (10_000 if args.stretch else 1_000)
+    churn = args.churn_rate  # None -> one event per 2000 node-seconds
+    print(f"e05b: routing three-way, N={n:,}, "
+          f"{args.lookups} lookups, seed {args.seed}")
+    rows = three_way(
+        n,
+        seed=args.seed,
+        churn_rate=churn,
+        maintenance_window=args.window,
+        lookups=args.lookups,
+        mesh_cap=args.mesh_cap,
+    )
+    for mode in ("chord", "mesh", "onehop"):
+        row = rows[mode]
+        note = f"  [{row.notes}]" if row.notes else ""
+        lookup_part = (
+            f"p50 {row.p50_latency_ms:>6.1f}ms  p99 {row.p99_latency_ms:>6.1f}ms  "
+            f"resolved {row.lookups_resolved}/{row.lookups_issued}"
+            if row.lookups_issued
+            else "lookups one-hop by construction"
+        )
+        print(f"  {mode:<7} hops {row.mean_hops:>5.2f}  "
+              f"one-hop {row.one_hop_fraction:>6.1%}  {lookup_part}  "
+              f"maint {row.maint_bytes_per_node_s:>9,.0f} B/node/s{note}")
+    chord, onehop = rows["chord"], rows["onehop"]
+    hop_ratio = chord.mean_hops / onehop.mean_hops if onehop.mean_hops else 0.0
+    byte_ratio = (onehop.maint_bytes_per_node_s / chord.maint_bytes_per_node_s
+                  if chord.maint_bytes_per_node_s else float("inf"))
+    print(f"  hop reduction {hop_ratio:.1f}x;  onehop maintenance "
+          f"{byte_ratio:.2f}x chord's")
+    if args.check:
+        gates = gate_results(rows)
+        ok = all(gates.values())
+        _write_artifact("e05b", {
+            "n_nodes": n,
+            "lookups": args.lookups,
+            "hop_ratio": hop_ratio,
+            "maintenance_byte_ratio": byte_ratio,
+            "rows": {
+                mode: {
+                    "nodes": row.nodes,
+                    "simulated_nodes": row.simulated_nodes,
+                    "mean_hops": row.mean_hops,
+                    "one_hop_fraction": row.one_hop_fraction,
+                    "p50_latency_ms": row.p50_latency_ms,
+                    "p99_latency_ms": row.p99_latency_ms,
+                    "maint_bytes_per_node_s": row.maint_bytes_per_node_s,
+                    "maint_msgs_per_node_s": row.maint_msgs_per_node_s,
+                    "lookups_resolved": row.lookups_resolved,
+                    "lookups_issued": row.lookups_issued,
+                    "extrapolated": row.extrapolated,
+                }
+                for mode, row in rows.items()
+            },
+        }, gates)
+        print("check:", "ok" if ok else "FAILED "
+              "(need >=99% one-hop lookups, >=4x hop reduction vs chord, "
+              "and maintenance within 3x of chord's)")
         return 0 if ok else 1
     return 0
 
@@ -621,10 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(fn=_cmd_sweep)
 
     bench = sub.add_parser(
-        "bench", help="quick experiment cells (e15: anti-entropy reconciliation "
-                      "cost; e16: runtime wire cost; e17: sharded scale + "
-                      "vectorised sieve)")
-    bench.add_argument("experiment", help="experiment id (e15, e16, e17)")
+        "bench", help="quick experiment cells (e05b: routing three-way — chord "
+                      "vs heartbeat mesh vs single-hop; e15: anti-entropy "
+                      "reconciliation cost; e16: runtime wire cost; e17: "
+                      "sharded scale + vectorised sieve)")
+    bench.add_argument("experiment", help="experiment id (e05b, e15, e16, e17)")
     bench.add_argument("-n", "--items", type=int, default=None,
                        help="store items (e15, default 2000) or messages "
                             "per round (e16, default 60)")
@@ -632,8 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--buckets", type=int, default=256)
     bench.add_argument("--fanout", type=int, default=8, help="gossip fanout (e16)")
     bench.add_argument("--nodes", type=int, default=None,
-                       help="UDP nodes (e16, default 12) or simulated nodes "
-                            "(e17, default 50000)")
+                       help="UDP nodes (e16, default 12), simulated nodes "
+                            "(e17, default 50000), or population size "
+                            "(e05b, default 1000)")
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--shards", type=int, default=4,
                        help="worker shards for e17 (default 4)")
@@ -646,7 +724,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="e17 shard-speedup gate, enforced only with "
                             ">=4 usable cpus")
     bench.add_argument("--stretch", action="store_true",
-                       help="e17 at N=100000 instead of 50000")
+                       help="e17 at N=100000 instead of 50000; "
+                            "e05b at N=10000 instead of 1000")
+    bench.add_argument("--churn-rate", type=float, default=None,
+                       help="e05b crash events/s across the population "
+                            "(default: N/2000)")
+    bench.add_argument("--lookups", type=int, default=400,
+                       help="e05b lookups per mode (default 400)")
+    bench.add_argument("--window", type=float, default=20.0,
+                       help="e05b maintenance measurement window in virtual "
+                            "seconds (default 20)")
+    bench.add_argument("--mesh-cap", type=int, default=300,
+                       help="e05b max simulated heartbeat-mesh nodes; the "
+                            "O(N) per-node cost is extrapolated beyond "
+                            "(default 300)")
     bench.add_argument("--check", action="store_true",
                        help="exit non-zero unless the optimised path beats the "
                             "baseline with identical protocol behaviour "

@@ -102,6 +102,13 @@ class DataDropletsConfig:
     # (repro.softstate.membership) and the facade stops updating ring
     # aliveness omnisciently; failover then costs a detection window.
     soft_failure_detection: bool = False
+    # "legacy": one shared ring, aliveness from the facade oracle or the
+    # O(N²) heartbeat mesh above. "onehop": every soft node keeps a full
+    # routing table fed by epidemically disseminated membership events
+    # (repro.softstate.onehop) and misrouted ops are redirected to the
+    # believed owner instead of erroring (probe-and-redirect).
+    routing_mode: str = "legacy"
+    onehop_quarantine_window: float = 10.0
 
     # client
     client_timeout: float = 30.0  # virtual seconds per operation
@@ -132,6 +139,10 @@ class DataDropletsConfig:
             raise ConfigurationError("fixed_fanout must be positive when set")
         if self.gossip_mode not in ("infect-and-die", "infect-forever"):
             raise ConfigurationError(f"unknown gossip_mode {self.gossip_mode!r}")
+        if self.routing_mode not in ("legacy", "onehop"):
+            raise ConfigurationError(f"unknown routing_mode {self.routing_mode!r}")
+        if self.onehop_quarantine_window < 0:
+            raise ConfigurationError("onehop_quarantine_window must be >= 0")
         seen = set()
         for index in self.indexes:
             if index.attribute in seen:

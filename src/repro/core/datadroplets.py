@@ -20,7 +20,7 @@ clusters), ``dd.churn()``, ``dd.metrics`` are all public on purpose.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import DataDropletsError, TimeoutError_
@@ -36,6 +36,7 @@ from repro.sim.network import Network, UniformLatency
 from repro.sim.node import Node, NodeState, Protocol
 from repro.sim.simulator import Simulation
 from repro.softstate.coordinator import SoftStateProtocol
+from repro.softstate.onehop import OneHopRouting, RingSpace
 from repro.softstate.messages import (
     ClientAggregate,
     ClientDelete,
@@ -118,7 +119,14 @@ class DataDroplets:
         # One cluster, one network: soft, storage and client nodes all
         # share the fabric (ids are dense across all of them).
         self.cluster = Cluster(self.sim, network=network)
+        # In "legacy" mode this is *the* coordinator ring, shared by all
+        # soft nodes. In "onehop" mode every soft node routes by its own
+        # table-fed ring and this object is only the *client's* view,
+        # synced (possibly stale) from a live node's table.
         self.ring = ConsistentHashRing(self.config.virtual_nodes)
+        self.onehop_space: Optional[RingSpace] = None
+        if self.config.routing_mode == "onehop":
+            self.onehop_space = RingSpace(self.config.virtual_nodes, buckets=16)
         self._request_seq = itertools.count()
 
         self.storage_nodes: List[Node] = self.cluster.add_nodes(
@@ -145,6 +153,23 @@ class DataDroplets:
     # assembly
     # ------------------------------------------------------------------
     def _soft_stack(self, node: Node) -> Sequence[Protocol]:
+        if self.config.routing_mode == "onehop":
+            assert self.onehop_space is not None
+            # Per-node ring mirrored from the node's own routing table;
+            # misrouted ops are redirected to the believed owner instead
+            # of bounced (the one-hop fallback path).
+            ring = ConsistentHashRing(self.config.virtual_nodes)
+            router = OneHopRouting(
+                space=self.onehop_space,
+                mirror_ring=ring,
+                quarantine_window=self.config.onehop_quarantine_window,
+            )
+            soft = SoftStateProtocol(
+                ring=ring,
+                storage_directory=self._storage_directory,
+                config=replace(self.config.soft, redirect_misrouted=True),
+            )
+            return [soft, router]
         stack: List[Protocol] = [
             SoftStateProtocol(
                 ring=self.ring,
@@ -194,6 +219,12 @@ class DataDroplets:
                 if n.node_id != node.node_id
             ][:view]
             node.protocol("membership").seed(peers)
+        if self.onehop_space is not None:
+            # Seed the shared baseline *before* boot so first boots are
+            # recognised members (no join-quarantine of the founding set);
+            # each router projects the seeded table into its mirror ring
+            # during on_start.
+            self.onehop_space.seed(node.node_id.value for node in self.soft_nodes)
         for node in self.soft_nodes:
             node.boot()
             self.ring.add(node.node_id)
@@ -369,6 +400,19 @@ class DataDroplets:
         return client.replies.pop(request_id)
 
     def _refresh_ring(self) -> None:
+        if self.config.routing_mode == "onehop":
+            # The client's table is learned from a live soft node (like a
+            # client library refreshing its routing table); it can lag
+            # reality — the redirect fallback covers the gap.
+            source = next((n for n in self.soft_nodes if n.is_up), None)
+            if source is None:
+                return
+            router: OneHopRouting = source.protocol("onehop")  # type: ignore[assignment]
+            if router.table is None:
+                return
+            for node in self.soft_nodes:
+                self.ring.set_alive(node.node_id, router.table.is_alive(node.node_id.value))
+            return
         if self.config.soft_failure_detection:
             return  # the soft layer's own failure detector owns aliveness
         for node in self.soft_nodes:

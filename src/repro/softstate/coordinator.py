@@ -56,6 +56,7 @@ from repro.softstate.messages import (
     StoreAck,
     StoreWrite,
 )
+from repro.softstate.onehop import RedirectedOp
 from repro.softstate.ring import ConsistentHashRing
 from repro.sim.node import Protocol
 from repro.store.tuples import Version, VersionedTuple, ZERO_VERSION, make_tuple
@@ -99,6 +100,11 @@ class SoftStateConfig:
     hint_capacity: int = 8  # remembered storage nodes per key
     auto_rebuild: bool = False  # rebuild metadata on every (re)boot
     fallback_flush_period: float = 4.0  # retry dissemination of parked writes
+    # Single-hop routing fallback: forward misrouted ops to the believed
+    # owner (RedirectedOp) instead of bouncing an error to the client.
+    # Enabled by the facade when DataDropletsConfig.routing_mode="onehop".
+    redirect_misrouted: bool = False
+    redirect_hop_budget: int = 3  # forwards before giving up on a loop
 
     def __post_init__(self) -> None:
         if self.ack_quorum <= 0:
@@ -258,11 +264,15 @@ class SoftStateProtocol(Protocol):
     # ------------------------------------------------------------------
     def on_message(self, sender: NodeId, message: Message) -> None:
         if isinstance(message, ClientPut):
-            self._handle_put(sender, message.request_id, message.key, message.record, delete=False)
+            self._handle_put(sender, message.request_id, message.key, message.record,
+                             delete=False, origin=message)
         elif isinstance(message, ClientDelete):
-            self._handle_put(sender, message.request_id, message.key, {}, delete=True)
+            self._handle_put(sender, message.request_id, message.key, {},
+                             delete=True, origin=message)
         elif isinstance(message, ClientGet):
             self._handle_get(sender, message)
+        elif isinstance(message, RedirectedOp):
+            self._handle_redirected(message)
         elif isinstance(message, ClientMultiGet):
             self._handle_multiget(sender, message)
         elif isinstance(message, ClientScan):
@@ -288,9 +298,10 @@ class SoftStateProtocol(Protocol):
     # writes (put / delete)
     # ------------------------------------------------------------------
     def _handle_put(self, client: NodeId, request_id: str, key: str,
-                    record: Dict[str, Any], delete: bool) -> None:
+                    record: Dict[str, Any], delete: bool,
+                    origin: Optional[Message] = None, hops: int = 0) -> None:
         if not self.ring.owns(self.host.node_id, key):
-            self._forward(client, request_id, key)
+            self._forward(client, request_id, key, origin=origin, hops=hops)
             return
         meta = self._meta(key)
         version = meta.version.next(self._coordinator_code())
@@ -391,9 +402,9 @@ class SoftStateProtocol(Protocol):
     # ------------------------------------------------------------------
     # reads (get)
     # ------------------------------------------------------------------
-    def _handle_get(self, client: NodeId, message: ClientGet) -> None:
+    def _handle_get(self, client: NodeId, message: ClientGet, hops: int = 0) -> None:
         if not self.ring.owns(self.host.node_id, message.key):
-            self._forward(client, message.request_id, message.key)
+            self._forward(client, message.request_id, message.key, origin=message, hops=hops)
             return
         self.host.metrics.counter("soft.reads").inc()
         outcome = self._local_lookup(message.key)
@@ -753,10 +764,41 @@ class SoftStateProtocol(Protocol):
         self.rebuild_complete = True
 
     # ------------------------------------------------------------------
-    def _forward(self, client: NodeId, request_id: str, key: str) -> None:
-        """Misrouted request: tell the client who owns the key."""
+    def _handle_redirected(self, message: RedirectedOp) -> None:
+        """A peer coordinator forwarded a client op it did not own; serve
+        it (or keep forwarding, bounded by the hop budget)."""
+        op = message.op
+        if isinstance(op, ClientPut):
+            self._handle_put(message.client, op.request_id, op.key, op.record,
+                             delete=False, origin=op, hops=message.hops)
+        elif isinstance(op, ClientDelete):
+            self._handle_put(message.client, op.request_id, op.key, {},
+                             delete=True, origin=op, hops=message.hops)
+        elif isinstance(op, ClientGet):
+            self._handle_get(message.client, op, hops=message.hops)
+        else:
+            self.host.metrics.counter("soft.unexpected_message").inc()
+
+    def _forward(self, client: NodeId, request_id: str, key: str,
+                 origin: Optional[Message] = None, hops: int = 0) -> None:
+        """Misrouted request: redirect it to the believed owner (one-hop
+        fallback) or, in legacy mode, tell the client who owns the key."""
         owner = self.ring.coordinator_for(key)
         self.host.metrics.counter("soft.misrouted").inc()
+        if (
+            self.config.redirect_misrouted
+            and origin is not None
+            and owner is not None
+            and owner != self.host.node_id
+            and hops < self.config.redirect_hop_budget
+        ):
+            self.host.metrics.counter("onehop.stale_routes").inc()
+            tracer = self.host.tracer
+            if tracer.active:
+                tracer.event("stale-route", self.host.node_id.value, self.host.now,
+                             key=key, hops=hops)
+            self.host.send(owner, "soft", RedirectedOp(client, origin, hops + 1))
+            return
         self._reply(
             client,
             request_id,

@@ -6,6 +6,14 @@ in order to achieve load-balancing and unequivocal responsibility for
 partitions" (§II). The layer is "moderately sized", so a full-view ring
 with virtual nodes (à la Chord/Dynamo) is appropriate — the epidemic
 machinery is reserved for the large persistent layer below.
+
+Hot-path notes: a node's virtual positions are a pure function of
+(node id, replica index), so they are computed once per node per
+process and shared across every ring instance (`virtual_positions`).
+``add`` batch-merges the precomputed positions into the sorted list in
+one O(P + V) pass instead of V ``insort`` shifts, and key→coordinator
+lookups are memoised against a mutation epoch that every
+add/remove/set_alive bumps.
 """
 
 from __future__ import annotations
@@ -15,6 +23,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.hashing import Arc, key_hash
 from repro.common.ids import NodeId
+
+#: Process-wide cache of virtual-node positions: (node value, V) -> sorted
+#: positions. Positions are pure hashes, so sharing across rings is safe.
+_VNODE_CACHE: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+#: Bound on the per-ring coordinator memo (cleared wholesale when full —
+#: the memo is an epoch cache, not an LRU; correctness never depends on it).
+_COORD_CACHE_CAPACITY = 65_536
+
+
+def virtual_positions(node_value: int, virtual_nodes: int) -> Tuple[int, ...]:
+    """The sorted ring positions of a node (cached process-wide)."""
+    cached = _VNODE_CACHE.get((node_value, virtual_nodes))
+    if cached is None:
+        cached = tuple(sorted(
+            key_hash(f"ring:{node_value}:{replica}")
+            for replica in range(virtual_nodes)
+        ))
+        _VNODE_CACHE[(node_value, virtual_nodes)] = cached
+    return cached
 
 
 class ConsistentHashRing:
@@ -31,16 +59,46 @@ class ConsistentHashRing:
         self.virtual_nodes = virtual_nodes
         self._members: Dict[NodeId, bool] = {}  # node -> alive
         self._positions: List[Tuple[int, NodeId]] = []  # sorted
+        self._epoch = 0  # bumped on every mutation; keys the memo below
+        self._coord_cache: Dict[str, Optional[NodeId]] = {}
 
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        self._epoch += 1
+        if self._coord_cache:
+            self._coord_cache = {}
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic counter; changes whenever lookups could change."""
+        return self._epoch
+
     def add(self, node_id: NodeId) -> None:
         if node_id in self._members:
-            self._members[node_id] = True
+            if not self._members[node_id]:
+                self._members[node_id] = True
+                self._mutated()
             return
         self._members[node_id] = True
-        for replica in range(self.virtual_nodes):
-            position = key_hash(f"ring:{node_id.value}:{replica}")
-            bisect.insort(self._positions, (position, node_id))
+        fresh = [(p, node_id) for p in virtual_positions(node_id.value, self.virtual_nodes)]
+        if not self._positions:
+            self._positions = fresh
+        else:
+            # One-pass sorted merge: O(P + V) instead of V insort shifts.
+            merged: List[Tuple[int, NodeId]] = []
+            old = self._positions
+            i = j = 0
+            while i < len(old) and j < len(fresh):
+                if old[i] <= fresh[j]:
+                    merged.append(old[i])
+                    i += 1
+                else:
+                    merged.append(fresh[j])
+                    j += 1
+            merged.extend(old[i:])
+            merged.extend(fresh[j:])
+            self._positions = merged
+        self._mutated()
 
     def remove(self, node_id: NodeId) -> None:
         """Remove permanently (positions are withdrawn)."""
@@ -48,12 +106,14 @@ class ConsistentHashRing:
             return
         del self._members[node_id]
         self._positions = [(p, n) for p, n in self._positions if n != node_id]
+        self._mutated()
 
     def set_alive(self, node_id: NodeId, alive: bool) -> None:
         """Mark a member temporarily unavailable without moving the
         partition map (responsibility resumes when it reboots)."""
-        if node_id in self._members:
+        if node_id in self._members and self._members[node_id] != alive:
             self._members[node_id] = alive
+            self._mutated()
 
     def members(self) -> List[NodeId]:
         return list(self._members)
@@ -73,9 +133,18 @@ class ConsistentHashRing:
 
         With ``alive_only`` (the default) ownership skips to the next
         alive member while the primary is down — requests must not wait
-        for a reboot."""
-        candidates = self.successors_for(key, count=len(self._members), alive_only=alive_only)
-        return candidates[0] if candidates else None
+        for a reboot. Results are memoised until the next mutation."""
+        if alive_only:
+            cached = self._coord_cache.get(key, False)
+            if cached is not False:
+                return cached
+        candidates = self.successors_for(key, count=1, alive_only=alive_only)
+        owner = candidates[0] if candidates else None
+        if alive_only:
+            if len(self._coord_cache) >= _COORD_CACHE_CAPACITY:
+                self._coord_cache = {}
+            self._coord_cache[key] = owner
+        return owner
 
     def successors_for(self, key: str, count: int, alive_only: bool = True) -> List[NodeId]:
         """Up to ``count`` distinct members clockwise from the key."""

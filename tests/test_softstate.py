@@ -101,6 +101,54 @@ class TestConsistentHashRing:
         owner = ring.coordinator_for(f"key:{key_index}")
         assert owner in ring.members()
 
+    # -- coordinator memoisation (keyed on the mutation epoch) ---------
+    def test_mutation_epoch_tracks_real_changes_only(self):
+        ring = self.ring(members=3)
+        epoch = ring.mutation_epoch
+        ring.add(NodeId(1))  # already a member: no-op
+        ring.set_alive(NodeId(1), True)  # already alive: no-op
+        assert ring.mutation_epoch == epoch
+        ring.set_alive(NodeId(1), False)
+        assert ring.mutation_epoch == epoch + 1
+        ring.add(NodeId(99))
+        ring.remove(NodeId(99))
+        assert ring.mutation_epoch == epoch + 3
+
+    def test_memoised_lookups_invalidate_on_every_mutation_kind(self):
+        ring = self.ring(members=4)
+        keys = [f"memo:{i}" for i in range(200)]
+        for key in keys:
+            ring.coordinator_for(key)  # populate the cache
+        for mutate in (
+            lambda: ring.set_alive(NodeId(0), False),
+            lambda: ring.remove(NodeId(1)),
+            lambda: ring.add(NodeId(50)),
+            lambda: ring.set_alive(NodeId(0), True),
+        ):
+            mutate()
+            fresh = build_ring(ring.members(), ring.virtual_nodes)
+            for member in ring.members():
+                fresh.set_alive(member, member in ring.alive_members())
+            for key in keys:
+                assert ring.coordinator_for(key) == fresh.coordinator_for(key)
+                assert ring.coordinator_for(key, alive_only=False) == \
+                    fresh.coordinator_for(key, alive_only=False)
+
+    def test_repeated_lookup_hits_cache(self):
+        ring = self.ring(members=4)
+        first = ring.coordinator_for("cached:key")
+        assert ring._coord_cache.get("cached:key", "absent") == first
+        assert ring.coordinator_for("cached:key") == first
+
+    def test_virtual_positions_shared_across_rings(self):
+        from repro.softstate import virtual_positions
+
+        a = virtual_positions(7, 16)
+        assert virtual_positions(7, 16) is a  # process-wide memo
+        ring_a, ring_b = self.ring(members=2, virtual_nodes=16), \
+            self.ring(members=2, virtual_nodes=16)
+        assert ring_a._positions == ring_b._positions
+
 
 class TestTupleCache:
     def test_put_get_hit(self):
