@@ -1,6 +1,6 @@
 """E6 — Redundancy maintenance (claims C4+C5).
 
-Three questions from §III-A:
+Four questions from §III-A:
 
 * does the census + re-dissemination machinery restore replication after
   permanent losses (maintenance ON vs OFF)?
@@ -9,14 +9,19 @@ Three questions from §III-A:
 * how much cheaper is per-range census than per-tuple census (the
   paper's "drastically reduces random walk length and the number of
   random walks")?
+* what does *churn-adaptive* redundancy buy: does deriving the replica
+  target and census cadence from measured session lifetimes cut the
+  maintenance spend at equal post-heal durability (the E6d
+  adaptive-vs-static ablation)?
 """
 
 import statistics
 
 from repro import DataDroplets, DataDropletsConfig
 from repro.randomwalk import walks_needed
+from repro.redundancy.churnbench import measure_redundancy_modes
 
-from _helpers import print_table, run_once, stash
+from _helpers import print_table, run_once, stash, write_artifact
 
 N = 48
 R = 5
@@ -155,3 +160,54 @@ def test_e06_census_cost_per_range_vs_per_tuple(benchmark):
     rows = run_once(benchmark, experiment)
     stash(benchmark, "census_cost", [dict(zip(["tuples", "range", "tuple", "x"], r)) for r in rows])
     assert all(r[3] >= r[0] for r in rows)  # savings scale with range size
+
+
+def test_e06_adaptive_vs_static_redundancy(benchmark):
+    """E6d — lifetime-aware redundancy vs static-r under session churn.
+
+    The same deterministic churn trace (exponential session lifetimes
+    long relative to the recovery window, plus two permanent kills) runs
+    against both redundancy modes; adaptive must spend markedly fewer
+    maintenance bytes at equal-or-better post-heal durability."""
+
+    def experiment():
+        results = measure_redundancy_modes(
+            seed=608, n_storage=32, keys=24,
+            churn_duration=150.0, heal_duration=50.0,
+        )
+        rows = [
+            (mode,
+             row["maintenance_bytes"],
+             row["censuses"],
+             row["repairs"],
+             row["lost_keys"],
+             row["min_replicas"],
+             row["mean_replicas"])
+            for mode, row in results.items()
+        ]
+        print_table(
+            "E6d — adaptive vs static redundancy under the same churn trace",
+            ["mode", "maint bytes", "censuses", "repairs", "lost",
+             "min replicas", "mean replicas"],
+            rows,
+        )
+        return results
+
+    results = run_once(benchmark, experiment)
+    stash(benchmark, "adaptive", [
+        dict(mode=mode, **{k: row[k] for k in (
+            "maintenance_bytes", "censuses", "repairs", "lost_keys",
+            "min_replicas", "mean_replicas")})
+        for mode, row in results.items()
+    ])
+    static, adaptive = results["static"], results["adaptive"]
+    ratio = adaptive["maintenance_bytes"] / static["maintenance_bytes"]
+    gates = {
+        "adaptive_saves_30pct": ratio <= 0.7,
+        "no_lost_acked_writes": (static["lost_keys"] == 0
+                                 and adaptive["lost_keys"] == 0),
+        "replica_floor_2": (static["min_replicas"] >= 2
+                            and adaptive["min_replicas"] >= 2),
+    }
+    write_artifact("e06", {"byte_ratio": ratio, "modes": results}, gates)
+    assert all(gates.values()), gates

@@ -75,13 +75,17 @@ class CaseResult:
 # deployment + schedule profiles
 # ----------------------------------------------------------------------
 def case_config(seed: int, quick: bool = False,
-                break_repair: bool = False) -> DataDropletsConfig:
+                break_repair: bool = False,
+                redundancy_mode: str = "static") -> DataDropletsConfig:
     """Deployment profile for checking campaigns.
 
     Small enough to run dozens of cases, with repair cranked fast so the
     heal window actually converges. ``break_repair`` disables active
     redundancy maintenance (the E6 ablation knob) — the positive
-    control that must produce violations."""
+    control that must produce violations. ``redundancy_mode="adaptive"``
+    runs the campaign with lifetime-aware replica targets (claim C5) —
+    the checkers then prove the *adaptive* policy loses no acked write
+    either."""
     return DataDropletsConfig(
         seed=seed,
         n_storage=16 if quick else 24,
@@ -92,6 +96,9 @@ def case_config(seed: int, quick: bool = False,
                             walks_per_check=24, grace_window=4.0),
         repair_period=4.0,
         repair_enabled=not break_repair,
+        redundancy_mode=redundancy_mode,
+        # small campaigns see few completed sessions — engage the fit early
+        adaptive_min_deaths=4,
     )
 
 
@@ -130,12 +137,14 @@ def run_case(
     floor: int = 1,
     heal_window: Optional[float] = None,
     settle: float = 10.0,
+    redundancy_mode: str = "static",
 ) -> CaseResult:
     """Run one fully deterministic checking case and evaluate it."""
     if schedule is None:
         schedule = (break_repair_schedule(quick) if break_repair
                     else stock_schedule(seed, quick))
-    config = case_config(seed, quick=quick, break_repair=break_repair)
+    config = case_config(seed, quick=quick, break_repair=break_repair,
+                         redundancy_mode=redundancy_mode)
     dd = DataDroplets(config).start(warmup=10.0)
     recorder = HistoryRecorder()
     store = recorder.attach(dd)
@@ -192,7 +201,13 @@ def run_case(
         "extinct_keys": len(history.extinct_keys),
         "permanent_kills": nemesis.kills,
         "virtual_time": round(dd.sim.now, 2),
+        "redundancy_mode": redundancy_mode,
     }
+    if dd.repair_provider is not None:
+        stats["adaptive"] = {
+            k: v for k, v in dd.repair_provider.describe(dd.sim.now).items()
+            if v is not None
+        }
     return CaseResult(seed=seed, schedule=schedule,
                       violations=violations, stats=stats)
 
@@ -245,6 +260,7 @@ def explore(
     shrink: bool = True,
     max_shrink_runs: int = 24,
     progress: Optional[Callable[[str], None]] = None,
+    redundancy_mode: str = "static",
 ) -> Dict[str, Any]:
     """Fuzz ``seeds`` cases; confirm and shrink every failure.
 
@@ -255,11 +271,13 @@ def explore(
         "quick": quick,
         "break_repair": break_repair,
         "floor": floor,
+        "redundancy_mode": redundancy_mode,
         "seeds": [],
         "failures": [],
     }
     for seed in range(seed_base, seed_base + seeds):
-        result = run_case(seed, quick=quick, break_repair=break_repair, floor=floor)
+        result = run_case(seed, quick=quick, break_repair=break_repair,
+                          floor=floor, redundancy_mode=redundancy_mode)
         report["seeds"].append({
             "seed": seed,
             "ok": result.ok,
@@ -271,7 +289,8 @@ def explore(
             continue
         say(f"seed {seed}: {len(result.violations)} violation(s), confirming")
         rerun = run_case(seed, schedule=result.schedule, quick=quick,
-                         break_repair=break_repair, floor=floor)
+                         break_repair=break_repair, floor=floor,
+                         redundancy_mode=redundancy_mode)
         confirmed = rerun.signature() == result.signature()
         failure: Dict[str, Any] = {
             "seed": seed,
@@ -283,7 +302,8 @@ def explore(
         if shrink and confirmed:
             def still_fails(candidate: NemesisSchedule) -> bool:
                 return not run_case(seed, schedule=candidate, quick=quick,
-                                    break_repair=break_repair, floor=floor).ok
+                                    break_repair=break_repair, floor=floor,
+                                    redundancy_mode=redundancy_mode).ok
 
             shrunk, runs = shrink_schedule(result.schedule, still_fails,
                                            max_runs=max_shrink_runs)
@@ -305,12 +325,14 @@ def replay(artifact: Dict[str, Any],
     quick = artifact.get("quick", False)
     break_repair = artifact.get("break_repair", False)
     floor = artifact.get("floor", 1)
+    redundancy_mode = artifact.get("redundancy_mode", "static")
     all_reproduced = True
     for failure in artifact.get("failures", []):
         schedule = NemesisSchedule.from_dicts(
             failure.get("shrunk_schedule") or failure["schedule"])
         result = run_case(failure["seed"], schedule=schedule, quick=quick,
-                          break_repair=break_repair, floor=floor)
+                          break_repair=break_repair, floor=floor,
+                          redundancy_mode=redundancy_mode)
         reproduced = not result.ok
         all_reproduced = all_reproduced and reproduced
         say(f"seed {failure['seed']}: "

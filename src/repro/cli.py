@@ -226,12 +226,14 @@ def _write_artifact(bench_id: str, metrics: dict, gates: dict) -> None:
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment == "e05b":
         return _bench_e05b(args)
+    if args.experiment == "e06":
+        return _bench_e06(args)
     if args.experiment == "e16":
         return _bench_e16(args)
     if args.experiment == "e17":
         return _bench_e17(args)
     if args.experiment != "e15":
-        print(f"unknown bench {args.experiment!r}; available: e05b, e15, e16, e17",
+        print(f"unknown bench {args.experiment!r}; available: e05b, e06, e15, e16, e17",
               file=sys.stderr)
         return 2
     from repro.epidemic.costbench import measure_antientropy_cost
@@ -344,6 +346,75 @@ def _bench_e05b(args: argparse.Namespace) -> int:
         print("check:", "ok" if ok else "FAILED "
               "(need >=99% one-hop lookups, >=4x hop reduction vs chord, "
               "and maintenance within 3x of chord's)")
+        return 0 if ok else 1
+    return 0
+
+
+def _bench_e06(args: argparse.Namespace) -> int:
+    """Adaptive-vs-static redundancy under the same session-churn trace.
+
+    One row per redundancy mode: maintenance bytes spent after the
+    preload (census walks + targeted range repair + gossip fallback),
+    post-heal replica floor/mean, acked writes lost, and repair
+    activity. The ``--check`` gate requires the lifetime-aware policy to
+    spend >= 30% fewer maintenance bytes than static-r at equal
+    durability (no lost acked write, replica floor >= 2, both modes).
+    """
+    from repro.redundancy.churnbench import measure_redundancy_modes
+
+    n = args.nodes if args.nodes is not None else 48
+    print(f"e06: adaptive vs static redundancy, N={n}, "
+          f"churn {args.churn_duration:g}s + heal {args.heal_duration:g}s, "
+          f"mean lifetime {args.mean_lifetime:g}s, seed {args.seed}")
+    results = measure_redundancy_modes(
+        seed=args.seed,
+        n_storage=n,
+        churn_duration=args.churn_duration,
+        heal_duration=args.heal_duration,
+        mean_lifetime=args.mean_lifetime,
+    )
+    for mode in ("static", "adaptive"):
+        row = results[mode]
+        print(f"  {mode:<8} maint {row['maintenance_bytes']:>12,.0f} B  "
+              f"lost {row['lost_keys']:.0f}  "
+              f"replicas min {row['min_replicas']:.0f} / "
+              f"mean {row['mean_replicas']:.2f}  "
+              f"repairs {row['repairs']:.0f} "
+              f"({row['targeted_repairs']:.0f} targeted, "
+              f"{row['repair_fallbacks']:.0f} fallback)  "
+              f"censuses {row['censuses']:,.0f}")
+    adaptive, static = results["adaptive"], results["static"]
+    if adaptive.get("adaptive_survival") is not None:
+        print(f"  adaptive view: survival/window "
+              f"{adaptive['adaptive_survival']:.3f}, raw target "
+              f"{adaptive['adaptive_raw_target']:.0f}, census period "
+              f"{adaptive['adaptive_check_period']:.1f}s, "
+              f"{adaptive['adaptive_completed_sessions']:.0f} completed sessions")
+    ratio = (adaptive["maintenance_bytes"] / static["maintenance_bytes"]
+             if static["maintenance_bytes"] else float("inf"))
+    print(f"  adaptive maintenance spend: {ratio:.2f}x static "
+          f"({1.0 - ratio:.1%} saved)")
+    if args.check:
+        gates = {
+            "adaptive_saves_30pct": ratio <= 0.7,
+            "no_lost_acked_writes": (static["lost_keys"] == 0
+                                     and adaptive["lost_keys"] == 0),
+            "replica_floor_2": (static["min_replicas"] >= 2
+                                and adaptive["min_replicas"] >= 2),
+        }
+        ok = all(gates.values())
+        _write_artifact("e06", {
+            "n_nodes": n,
+            "seed": args.seed,
+            "churn_duration": args.churn_duration,
+            "heal_duration": args.heal_duration,
+            "mean_lifetime": args.mean_lifetime,
+            "byte_ratio": ratio,
+            "modes": results,
+        }, gates)
+        print("check:", "ok" if ok else "FAILED "
+              "(need >=30% maintenance-byte savings at zero lost acked "
+              "writes and replica floor >= 2 in both modes)")
         return 0 if ok else 1
     return 0
 
@@ -635,6 +706,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         floor=args.floor,
         shrink=not args.no_shrink,
         progress=print,
+        redundancy_mode=args.redundancy_mode,
     )
     if args.artifact is not None:
         with open(args.artifact, "w") as fh:
@@ -698,10 +770,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="quick experiment cells (e05b: routing three-way — chord "
-                      "vs heartbeat mesh vs single-hop; e15: anti-entropy "
+                      "vs heartbeat mesh vs single-hop; e06: adaptive vs "
+                      "static redundancy under churn; e15: anti-entropy "
                       "reconciliation cost; e16: runtime wire cost; e17: "
                       "sharded scale + vectorised sieve)")
-    bench.add_argument("experiment", help="experiment id (e05b, e15, e16, e17)")
+    bench.add_argument("experiment", help="experiment id (e05b, e06, e15, e16, e17)")
     bench.add_argument("-n", "--items", type=int, default=None,
                        help="store items (e15, default 2000) or messages "
                             "per round (e16, default 60)")
@@ -734,6 +807,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--window", type=float, default=20.0,
                        help="e05b maintenance measurement window in virtual "
                             "seconds (default 20)")
+    bench.add_argument("--churn-duration", type=float, default=240.0,
+                       help="e06 virtual seconds of session churn (default 240)")
+    bench.add_argument("--heal-duration", type=float, default=60.0,
+                       help="e06 virtual seconds of post-churn healing "
+                            "(default 60)")
+    bench.add_argument("--mean-lifetime", type=float, default=150.0,
+                       help="e06 mean session lifetime in virtual seconds "
+                            "(default 150)")
     bench.add_argument("--mesh-cap", type=int, default=300,
                        help="e05b max simulated heartbeat-mesh nodes; the "
                             "O(N) per-node cost is extrapolated beyond "
@@ -821,6 +902,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--expect-violation", action="store_true",
                        help="exit non-zero unless at least one case FAILS "
                             "(used with --break-repair)")
+    check.add_argument("--redundancy-mode", choices=("static", "adaptive"),
+                       default="static",
+                       help="redundancy maintenance mode for the campaign "
+                            "deployments (adaptive = lifetime-aware targets)")
     check.add_argument("--floor", type=int, default=1,
                        help="replica-count floor asserted after quiesce")
     check.add_argument("--no-shrink", action="store_true",

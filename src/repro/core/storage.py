@@ -544,8 +544,20 @@ class StorageNodeProtocol(Protocol):
         return max(values) if is_max else min(values)
 
 
-def make_storage_stack(config: DataDropletsConfig):
-    """StackFactory building the full persistent-layer node stack."""
+def make_storage_stack(
+    config: DataDropletsConfig,
+    policy_provider=None,
+    liveness=None,
+):
+    """StackFactory building the full persistent-layer node stack.
+
+    Args:
+        policy_provider: optional shared churn-adaptive policy (see
+            :class:`~repro.redundancy.adaptive.AdaptiveRepairPolicy`)
+            overriding the static repair targets/cadence.
+        liveness: optional shared ``node value -> bool`` oracle letting
+            the census drop peers known dead.
+    """
 
     def factory(node: Node) -> List[Protocol]:
         memtable = node.durable.get("memtable")
@@ -630,6 +642,12 @@ def make_storage_stack(config: DataDropletsConfig):
             size_estimate_fn=size_fn,
             policy=config.repair,
             active=config.repair_enabled,
+            policy_provider=policy_provider,
+            liveness=liveness,
+            # Wrap fallback re-dissemination so receiving storage nodes
+            # recognise the payload (a bare item would be dropped as
+            # storage.unknown_gossip_payload).
+            repair_wrap=lambda item: WritePayload(item, None),
         )
         protocols.append(manager)
         protocols.append(
@@ -640,6 +658,8 @@ def make_storage_stack(config: DataDropletsConfig):
                 # the census still runs for aggregate corrections.
                 peer_source=manager.same_range_peers if config.repair_enabled else (lambda: []),
                 period=config.repair_period,
+                max_failures=config.repair.max_peer_failures,
+                on_peer_failed=manager.note_peer_failed,
             )
         )
 

@@ -179,6 +179,11 @@ class AntiEntropy(Protocol):
         bucketed: force (True) or forbid (False) the bucketed exchange;
             None (default) auto-enables it when ``store`` implements
             :class:`BucketedStore`.
+        ack_clean: reply to an agreeing bucket summary with an *empty*
+            :class:`BucketDigestMessage` (a no-op at the receiver) so the
+            initiator gets positive confirmation the round completed.
+            Off by default — it adds a tiny message to every clean round,
+            which only subclasses tracking peer liveness need.
     """
 
     name = "anti-entropy"
@@ -190,6 +195,7 @@ class AntiEntropy(Protocol):
         membership: str = "membership",
         max_digest: Optional[int] = None,
         bucketed: Optional[bool] = None,
+        ack_clean: bool = False,
     ):
         super().__init__()
         self.store = store
@@ -201,6 +207,7 @@ class AntiEntropy(Protocol):
         elif bucketed and not isinstance(store, BucketedStore):
             raise TypeError("bucketed=True requires a BucketedStore adapter")
         self.bucketed = bucketed
+        self.ack_clean = ack_clean
         self._timer = None
 
     # ------------------------------------------------------------------
@@ -236,6 +243,15 @@ class AntiEntropy(Protocol):
         peer = self.select_peer()
         if peer is None:
             return
+        self.initiate_exchange(peer)
+
+    def initiate_exchange(self, peer: NodeId) -> None:
+        """Start one reconciliation round toward a specific peer.
+
+        Public so callers holding out-of-band peer knowledge (targeted
+        redundancy repair) can direct a round instead of waiting for the
+        periodic random one.
+        """
         if self.bucketed:
             store: BucketedStore = self.store  # type: ignore[assignment]
             self.send(peer, BucketSummaryMessage(store.bucket_count(), store.bucket_summaries()))
@@ -243,6 +259,13 @@ class AntiEntropy(Protocol):
             entries, truncated = self._digest_entries()
             self.send(peer, DigestMessage(entries, is_reply=False, truncated=truncated))
         self._c_rounds.inc()
+        self._on_initiate(peer)
+
+    def _on_initiate(self, peer: NodeId) -> None:
+        """Hook: an exchange toward ``peer`` was just initiated."""
+
+    def _on_peer_response(self, sender: NodeId) -> None:
+        """Hook: any anti-entropy traffic arrived from ``sender``."""
 
     def _digest_entries(self) -> Tuple[Tuple[Tuple[str, int], ...], bool]:
         digest = self.store.digest()
@@ -257,6 +280,7 @@ class AntiEntropy(Protocol):
 
     # ------------------------------------------------------------------
     def on_message(self, sender: NodeId, message: Message) -> None:
+        self._on_peer_response(sender)
         if isinstance(message, DigestMessage):
             self._reconcile(sender, dict(message.entries), message.is_reply, message.truncated)
         elif isinstance(message, BucketSummaryMessage):
@@ -326,6 +350,10 @@ class AntiEntropy(Protocol):
         )
         if not differing:
             self._c_buckets_clean.inc()
+            if self.ack_clean:
+                # Empty digest: a no-op for the initiator's store, but
+                # positive proof this peer is alive and in sync.
+                self.send(sender, BucketDigestMessage((), (), False))
             return
         self._c_buckets_diverged.inc(len(differing))
         entries = sorted(store.bucket_digest(differing).items())

@@ -2,7 +2,9 @@
 
 These are the "basic distributed computations" the paper builds on
 (§III-A estimation of N for sieves, §III-B1 distribution estimation for
-smart sieves and ordering, §III-C aggregates exposed to clients).
+smart sieves and ordering, §III-C aggregates exposed to clients), plus
+the session-lifetime survival estimator driving churn-adaptive
+redundancy (§III-A claim C5).
 """
 
 from repro.estimation.extrema import ExtremaExchange, ExtremaSizeEstimator
@@ -14,6 +16,7 @@ from repro.estimation.histogram import (
     WeightFn,
     empirical_distribution,
 )
+from repro.estimation.lifetimes import LifetimeEstimator, SurvivalFit
 from repro.estimation.pushsum import (
     ExtremeAggregator,
     ExtremeShare,
@@ -29,8 +32,10 @@ __all__ = [
     "ExtremeShare",
     "HistogramEstimator",
     "HistogramShare",
+    "LifetimeEstimator",
     "PushSumProtocol",
     "PushSumShare",
+    "SurvivalFit",
     "ValueSource",
     "WeightFn",
     "empirical_distribution",

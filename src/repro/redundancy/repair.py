@@ -177,6 +177,14 @@ class RangeRepair(AntiEntropy):
     Runs opportunistically: with no discovered same-range peer the round
     is a no-op (the census will eventually discover peers, or conclude
     the range is under-populated and trigger re-dissemination instead).
+
+    Every initiated exchange is tracked against ``exchange_timeout``:
+    clean rounds are positively acked (``ack_clean``), so a peer that
+    never answers anything is distinguishable from one with nothing to
+    say. After ``max_failures`` consecutive silent exchanges the peer is
+    reported through ``on_peer_failed`` — the census manager uses this to
+    evict crashed nodes from ``known_peers`` instead of burning rounds on
+    them forever.
     """
 
     name = "range-repair"
@@ -189,17 +197,66 @@ class RangeRepair(AntiEntropy):
         period: float = 10.0,
         max_digest: Optional[int] = None,
         bucketed: Optional[bool] = None,
+        exchange_timeout: float = 4.0,
+        max_failures: int = 2,
+        on_peer_failed: Optional[Callable[[NodeId], None]] = None,
     ):
         super().__init__(
             store=RangeScopedStore(memtable, sieve),
             period=period,
             max_digest=max_digest,
             bucketed=bucketed,
+            ack_clean=True,
         )
+        if exchange_timeout <= 0:
+            raise ValueError("exchange_timeout must be positive")
+        if max_failures <= 0:
+            raise ValueError("max_failures must be positive")
         self.peer_source = peer_source
+        self.exchange_timeout = exchange_timeout
+        self.max_failures = max_failures
+        self.on_peer_failed = on_peer_failed
+        #: peer value -> deadline of the oldest unanswered exchange.
+        self._outstanding: Dict[int, float] = {}
+        self._failures: Dict[int, int] = {}
+
+    def bind(self, host) -> None:
+        super().bind(host)
+        self._c_timeouts = host.metrics.counter("range_repair.exchange_timeouts")
 
     def select_peer(self) -> Optional[NodeId]:
         peers = self.peer_source()
         if not peers:
             return None
         return self.host.rng.choice(sorted(peers, key=lambda p: p.value))
+
+    # -- targeted repair -------------------------------------------------
+    def repair_with(self, peer: NodeId) -> None:
+        """Direct one reconciliation round at a specific peer (used by
+        the census manager's targeted repair path)."""
+        self.initiate_exchange(peer)
+
+    # -- exchange liveness tracking --------------------------------------
+    def _on_initiate(self, peer: NodeId) -> None:
+        value = peer.value
+        if value in self._outstanding:
+            return  # an earlier exchange with this peer is still pending
+        deadline = self.host.now + self.exchange_timeout
+        self._outstanding[value] = deadline
+        self.host.set_timer(self.exchange_timeout, lambda: self._check_deadline(value, deadline))
+
+    def _on_peer_response(self, sender: NodeId) -> None:
+        self._outstanding.pop(sender.value, None)
+        self._failures.pop(sender.value, None)
+
+    def _check_deadline(self, value: int, deadline: float) -> None:
+        if self._outstanding.get(value) != deadline:
+            return  # answered, or superseded by a later re-initiation
+        del self._outstanding[value]
+        self._c_timeouts.inc()
+        failures = self._failures.get(value, 0) + 1
+        self._failures[value] = failures
+        if failures >= self.max_failures:
+            self._failures.pop(value, None)
+            if self.on_peer_failed is not None:
+                self.on_peer_failed(NodeId(value))

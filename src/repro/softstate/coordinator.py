@@ -165,6 +165,13 @@ class _ScanState:
     attribute: str
     items: Dict[str, VersionedTuple] = field(default_factory=dict)
     done: bool = False
+    #: Any ScanPartial arrived (even an empty one). A deadline with no
+    #: response at all means the routing walk died (e.g. a stale-view
+    #: routing loop), not that the range is empty.
+    responded: bool = False
+    retried: bool = False
+    low: float = 0.0
+    high: float = 0.0
 
 
 @dataclass
@@ -640,14 +647,21 @@ class SoftStateProtocol(Protocol):
             self._reply(client, message.request_id, ok=False, error="no storage entry point")
             return
         scan_id = self._next_id("scan")
-        self._scans[scan_id] = _ScanState(message.request_id, client, message.attribute)
+        self._scans[scan_id] = _ScanState(
+            message.request_id, client, message.attribute,
+            low=message.low, high=message.high,
+        )
+        self._launch_scan(scan_id, entry)
+
+    def _launch_scan(self, scan_id: str, entry: NodeId) -> None:
+        state = self._scans[scan_id]
         self._to_storage(
             entry,
             ScanRequest(
                 scan_id,
-                message.attribute,
-                message.low,
-                message.high,
+                state.attribute,
+                state.low,
+                state.high,
                 self.host.node_id,
                 hops_left=self.config.scan_hop_budget,
                 routing=True,
@@ -659,6 +673,7 @@ class SoftStateProtocol(Protocol):
         state = self._scans.get(partial.scan_id)
         if state is None or state.done:
             return
+        state.responded = True
         for item in partial.items:
             current = state.items.get(item.key)
             if current is None or item.version > current.version:
@@ -676,8 +691,26 @@ class SoftStateProtocol(Protocol):
 
     def _scan_deadline(self, scan_id: str) -> None:
         state = self._scans.get(scan_id)
-        if state is not None and not state.done:
-            self._finish_scan(scan_id, state)
+        if state is None or state.done:
+            return
+        if not state.responded and not state.retried:
+            # The walk died without a single report — a routing loop over
+            # stale overlay views (e.g. mid-estimate-epoch disagreement on
+            # bucket counts), not an empty range. Relaunch once from a
+            # fresh entry point; views typically reconverge within the
+            # elapsed scan timeout.
+            state.retried = True
+            self.host.metrics.counter("soft.scan_relaunches").inc()
+            entry = self._storage_entry()
+            if entry is not None:
+                # Fresh scan id: storage loop guards remember the dead
+                # walk's id and would drop its routing hops on sight.
+                self._scans.pop(scan_id, None)
+                fresh_id = self._next_id("scan")
+                self._scans[fresh_id] = state
+                self._launch_scan(fresh_id, entry)
+                return
+        self._finish_scan(scan_id, state)
 
     def _finish_scan(self, scan_id: str, state: _ScanState) -> None:
         state.done = True

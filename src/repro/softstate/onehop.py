@@ -518,10 +518,15 @@ class OneHopRouting(Protocol):
         antientropy_period: float = 5.0,
         probe_timeout: float = 5.0,
         max_batch: int = 128,
+        on_member_event: Optional[Callable[[MemberEvent, float], None]] = None,
     ):
         super().__init__()
         if fanout <= 0:
             raise ValueError("fanout must be positive")
+        #: Tap invoked with (event, now) for every event that changed the
+        #: local table — membership joins/deaths feed e.g. the session
+        #: lifetime estimator of churn-adaptive redundancy.
+        self.on_member_event = on_member_event
         self.space = space
         self.mirror_ring = mirror_ring
         self.bootstrap = bootstrap
@@ -627,6 +632,8 @@ class OneHopRouting(Protocol):
         self._sync_mirror(event.node)
         self._buffer.append(event)
         self.host.metrics.counter("onehop.events_originated").inc()
+        if self.on_member_event is not None:
+            self.on_member_event(event, self.host.now)
 
     def _absorb(self, events: Iterable[MemberEvent]) -> None:
         assert self.table is not None
@@ -652,6 +659,8 @@ class OneHopRouting(Protocol):
                 metrics.counter("onehop.events_applied").inc()
                 if event.kind == EVENT_JOIN and event.node in table._quarantine:
                     metrics.counter("onehop.quarantined").inc()
+                if self.on_member_event is not None:
+                    self.on_member_event(event, now)
             else:
                 metrics.counter("onehop.events_stale").inc()
 

@@ -1,0 +1,236 @@
+"""Lifetime estimation: censoring correctness and fit convergence.
+
+The streaming estimator must (a) treat still-open sessions as
+right-censored exposure — not ignore them, not count them as deaths —
+and (b) converge to the generating distribution on synthetic
+exponential and Weibull session data, including sessions produced by a
+real simulated churn trace.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.lifetimes import LifetimeEstimator, SurvivalFit
+
+lifetimes_lists = st.lists(
+    st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60,
+)
+
+
+class TestEventIngestion:
+    def test_join_death_records_lifetime(self):
+        est = LifetimeEstimator(min_deaths=1)
+        est.note_join(1, 10.0)
+        est.note_death(1, 40.0)
+        assert est.completed_count == 1
+        assert est.exposure(40.0) == pytest.approx(30.0)
+
+    def test_join_is_idempotent_while_open(self):
+        est = LifetimeEstimator()
+        est.note_join(1, 10.0)
+        est.note_join(1, 25.0)  # duplicate: must not restart the session
+        est.note_death(1, 40.0)
+        assert est.exposure(40.0) == pytest.approx(30.0)
+
+    def test_death_without_join_is_ignored(self):
+        est = LifetimeEstimator()
+        est.note_death(7, 40.0)  # e.g. DOWN->DEAD double event
+        assert est.completed_count == 0
+        assert est.alive_count == 0
+
+    def test_is_alive_tracks_open_sessions(self):
+        est = LifetimeEstimator()
+        est.note_join(1, 0.0)
+        assert est.is_alive(1)
+        est.note_death(1, 5.0)
+        assert not est.is_alive(1)
+
+    def test_reboot_opens_a_new_session(self):
+        est = LifetimeEstimator(min_deaths=1)
+        est.note_join(1, 0.0)
+        est.note_death(1, 10.0)
+        est.note_join(1, 30.0)
+        est.note_death(1, 35.0)
+        assert est.completed_count == 2
+        assert est.exposure(35.0) == pytest.approx(15.0)
+
+
+class TestCensoringCorrectness:
+    @given(lifetimes_lists, st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=100)
+    def test_exposure_counts_open_sessions(self, completed, open_age):
+        """Exposure = sum of completed lifetimes + ages of open sessions
+        (the denominator of the censored exponential MLE)."""
+        est = LifetimeEstimator(min_deaths=1)
+        now = 0.0
+        for i, life in enumerate(completed):
+            est.note_join(i, now)
+            est.note_death(i, now + life)
+            now += life
+        est.note_join(10_000, now)
+        query = now + open_age
+        assert est.exposure(query) == pytest.approx(
+            sum(completed) + open_age, rel=1e-9)
+        assert est.censored_ages(query) == pytest.approx([open_age])
+
+    @given(lifetimes_lists)
+    @settings(max_examples=100)
+    def test_censored_mle_scale_is_exposure_over_deaths(self, completed):
+        """With k open sessions of age A, the exponential fit's scale is
+        (sum + k*A)/deaths — alive time at risk raises the estimate."""
+        est = LifetimeEstimator(min_deaths=1)
+        now = 0.0
+        for i, life in enumerate(completed):
+            est.note_join(i, now)
+            est.note_death(i, now + life)
+            now += life
+        open_age = 50.0
+        for j in range(3):
+            est.note_join(10_000 + j, now)
+        fit = est.fit(now + open_age, distribution="exponential")
+        expected = (sum(completed) + 3 * open_age) / len(completed)
+        assert fit is not None
+        assert fit.scale == pytest.approx(expected, rel=1e-9)
+        assert fit.censored == 3
+
+    def test_censoring_removes_downward_bias(self):
+        """Observing an exponential population through a short horizon:
+        the naive mean of *finished* sessions underestimates the true
+        mean badly; the censored fit does not."""
+        rng = random.Random(9)
+        true_mean = 100.0
+        horizon = 60.0  # much shorter than the mean lifetime
+        est = LifetimeEstimator(min_deaths=8)
+        for i in range(400):
+            start = rng.uniform(0.0, horizon)
+            est.note_join(i, start)
+            death = start + rng.expovariate(1.0 / true_mean)
+            if death <= horizon:
+                est.note_death(i, death)
+        fit = est.fit(horizon, distribution="exponential")
+        assert fit is not None
+        naive = est.empirical_quantile(0.5)  # finished sessions only
+        assert naive < true_mean * 0.5  # the bias being corrected
+        assert fit.scale == pytest.approx(true_mean, rel=0.35)
+        assert fit.scale > naive * 2
+
+
+class TestFitConvergence:
+    def _feed(self, est, rng, n, sample):
+        now = 0.0
+        for i in range(n):
+            est.note_join(i, now)
+            est.note_death(i, now + sample(rng))
+            now += 1.0
+        return now
+
+    def test_exponential_quantiles_converge(self):
+        rng = random.Random(17)
+        est = LifetimeEstimator()
+        now = self._feed(est, rng, 1500, lambda r: r.expovariate(1.0 / 120.0))
+        fit = est.fit(now)
+        assert fit is not None
+        assert fit.scale == pytest.approx(120.0, rel=0.15)
+        for q in (0.25, 0.5, 0.9):
+            true_q = 120.0 * -math.log(1.0 - q)
+            assert fit.quantile(q) == pytest.approx(true_q, rel=0.2)
+
+    def test_weibull_fit_recovers_shape(self):
+        rng = random.Random(23)
+        shape, scale = 0.6, 100.0
+        est = LifetimeEstimator()
+        now = self._feed(est, rng, 1500, lambda r: scale * (-math.log(r.random())) ** (1 / shape))
+        fit = est.fit(now)
+        assert fit is not None
+        assert fit.distribution == "weibull"
+        assert fit.shape == pytest.approx(shape, rel=0.2)
+        assert fit.quantile(0.5) == pytest.approx(
+            scale * math.log(2.0) ** (1 / shape), rel=0.25)
+
+    def test_auto_prefers_exponential_on_exponential_data(self):
+        rng = random.Random(31)
+        est = LifetimeEstimator()
+        now = self._feed(est, rng, 800, lambda r: r.expovariate(1.0 / 50.0))
+        fit = est.fit(now)
+        assert fit is not None
+        # AIC penalty: memorylessness unless Weibull clearly wins
+        assert fit.distribution == "exponential"
+
+    def test_fit_none_below_min_deaths(self):
+        est = LifetimeEstimator(min_deaths=8)
+        for i in range(7):
+            est.note_join(i, 0.0)
+            est.note_death(i, 10.0)
+        assert est.fit(20.0) is None
+        assert est.survival_probability(0.0, 10.0, 20.0, default=0.5) == 0.5
+
+    def test_conditional_survival_memoryless_for_exponential(self):
+        fit = SurvivalFit("exponential", scale=100.0, shape=1.0,
+                          deaths=10, censored=0, exposure=1000.0)
+        assert fit.conditional_survival(0.0, 30.0) == pytest.approx(
+            fit.conditional_survival(500.0, 30.0))
+        assert fit.conditional_survival(0.0, 30.0) == pytest.approx(math.exp(-0.3))
+
+    def test_conditional_survival_ageing_matters_for_weibull(self):
+        fit = SurvivalFit("weibull", scale=100.0, shape=0.5,
+                          deaths=10, censored=0, exposure=1000.0)
+        # shape < 1: old sessions are *more* likely to survive the window
+        young = fit.conditional_survival(1.0, 50.0)
+        old = fit.conditional_survival(500.0, 50.0)
+        assert old > young
+
+
+class TestTraceChurnSessions:
+    def test_estimator_recovers_trace_lifetimes(self):
+        """Sessions generated by the deterministic churn-trace builder
+        (the E6d harness) land near the configured mean lifetime."""
+        from repro.redundancy.churnbench import session_trace
+
+        mean_lifetime = 80.0
+        actions = session_trace(
+            n_storage=40, seed=5, duration=2000.0,
+            mean_lifetime=mean_lifetime, mean_downtime=10.0,
+            churn_fraction=1.0, kills=0,
+        )
+        est = LifetimeEstimator()
+        # replay the schedule as membership events (nodes start UP at t=0)
+        for i in range(40):
+            est.note_join(i, 0.0)
+        for action in actions:
+            if action.kind == "recover":
+                est.note_join(action.node_index, action.time)
+            else:
+                est.note_death(action.node_index, action.time)
+        fit = est.fit(2000.0)
+        assert fit is not None
+        assert fit.deaths > 100
+        # first sessions start at t=0 (not at an exponential draw), so
+        # allow a generous band around the configured mean
+        assert fit.mean_lifetime == pytest.approx(mean_lifetime, rel=0.35)
+
+    def test_simulated_cluster_feeds_estimator(self):
+        """End-to-end: DataDroplets in adaptive mode wires lifecycle
+        events into its shared estimator."""
+        from dataclasses import replace
+
+        from repro.core.config import DataDropletsConfig
+        from repro.core.datadroplets import DataDroplets
+
+        config = DataDropletsConfig(seed=3, n_storage=12, n_soft=2,
+                                    replication=3, redundancy_mode="adaptive")
+        config = replace(config, adaptive_min_deaths=2)
+        dd = DataDroplets(config).start(warmup=10.0)
+        assert dd.lifetimes is not None
+        assert dd.lifetimes.alive_count == 12
+        dd.storage_nodes[0].crash()
+        dd.storage_nodes[1].crash(permanent=True)
+        dd.run_for(5.0)
+        assert dd.lifetimes.completed_count == 2
+        assert not dd.lifetimes.is_alive(dd.storage_nodes[0].node_id.value)
+        dd.storage_nodes[0].boot()
+        assert dd.lifetimes.is_alive(dd.storage_nodes[0].node_id.value)

@@ -249,6 +249,18 @@ class TestRedundancyManager:
             RepairPolicy(check_period=0)
         with pytest.raises(ValueError):
             RepairPolicy(grace_window=-1)
+        with pytest.raises(ValueError):
+            RepairPolicy(walk_ttl=0)
+        with pytest.raises(ValueError):
+            RepairPolicy(max_known_peers=0)
+        with pytest.raises(ValueError):
+            RepairPolicy(redisseminate_batch=-5)
+        with pytest.raises(ValueError):
+            RepairPolicy(repair_fanout=0)
+        with pytest.raises(ValueError):
+            RepairPolicy(peer_ttl_censuses=0)
+        with pytest.raises(ValueError):
+            RepairPolicy(max_peer_failures=0)
 
     def test_repair_triggered_when_population_low(self):
         sim = Simulation(seed=84)
