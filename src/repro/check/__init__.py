@@ -19,6 +19,13 @@ advantage of *virtual* time and *replayable* randomness:
   fuzzes (seed, schedule) pairs, re-runs failures to confirm
   determinism, greedily shrinks failing schedules and emits a JSON
   artifact with everything needed to replay them.
+* :mod:`repro.check.corruption` — the self-stabilisation tier:
+  a :class:`~repro.check.corruption.ConvergenceMonitor` that annotates
+  each injected state corruption with detection/heal virtual
+  timestamps, and :func:`~repro.check.corruption.check_corruption_healed`
+  which demands every corruption be detected and healed within a
+  bounded number of anti-entropy rounds (``repro check --nemesis
+  corruption``).
 """
 
 from repro.check.checkers import (  # noqa: F401
@@ -32,10 +39,21 @@ from repro.check.checkers import (  # noqa: F401
     check_version_monotonicity,
     snapshot_cluster,
 )
+from repro.check.corruption import (  # noqa: F401
+    ConvergenceMonitor,
+    check_corruption_healed,
+)
 from repro.check.history import History, HistoryRecorder, OpRecord, RecordingStore  # noqa: F401
-from repro.check.nemesis import Nemesis, NemesisEvent, NemesisSchedule  # noqa: F401
+from repro.check.nemesis import (  # noqa: F401
+    CORRUPTION_KINDS,
+    Nemesis,
+    NemesisEvent,
+    NemesisSchedule,
+)
 
 __all__ = [
+    "CORRUPTION_KINDS",
+    "ConvergenceMonitor",
     "History",
     "HistoryRecorder",
     "Nemesis",
@@ -46,6 +64,7 @@ __all__ = [
     "ReplicaView",
     "Violation",
     "check_convergence",
+    "check_corruption_healed",
     "check_no_lost_writes",
     "check_read_your_writes",
     "check_replica_floor",

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.check import checkers
+from repro.check.corruption import ConvergenceMonitor, check_corruption_healed
 from repro.check.history import HistoryRecorder
 from repro.check.nemesis import Nemesis, NemesisEvent, NemesisSchedule
 from repro.core.config import DataDropletsConfig, IndexSpec
@@ -76,7 +77,8 @@ class CaseResult:
 # ----------------------------------------------------------------------
 def case_config(seed: int, quick: bool = False,
                 break_repair: bool = False,
-                redundancy_mode: str = "static") -> DataDropletsConfig:
+                redundancy_mode: str = "static",
+                break_audit: bool = False) -> DataDropletsConfig:
     """Deployment profile for checking campaigns.
 
     Small enough to run dozens of cases, with repair cranked fast so the
@@ -85,7 +87,10 @@ def case_config(seed: int, quick: bool = False,
     control that must produce violations. ``redundancy_mode="adaptive"``
     runs the campaign with lifetime-aware replica targets (claim C5) —
     the checkers then prove the *adaptive* policy loses no acked write
-    either."""
+    either. ``break_audit`` disables the periodic state audit — the
+    corruption tier's own positive control: a poisoned summary whose
+    per-key versions still agree then has no heal path, so the
+    convergence checker *must* fire."""
     return DataDropletsConfig(
         seed=seed,
         n_storage=16 if quick else 24,
@@ -99,6 +104,9 @@ def case_config(seed: int, quick: bool = False,
         redundancy_mode=redundancy_mode,
         # small campaigns see few completed sessions — engage the fit early
         adaptive_min_deaths=4,
+        audit_enabled=not break_audit,
+        # faster than the 6s default so audits land within one heal round
+        audit_period=3.0,
     )
 
 
@@ -123,6 +131,26 @@ def break_repair_schedule(quick: bool = False) -> NemesisSchedule:
     ])
 
 
+def corruption_schedule(seed: int, quick: bool = False) -> NemesisSchedule:
+    """Fuzzed state-corruption schedule for ``--nemesis corruption``.
+
+    Corruption events superimposed (via the ``overlap`` combinator) on
+    one early message-loss window: the loss makes coordinator writes
+    genuinely fall back to the durable queue, so ``truncate_fallback``
+    finds parked victims, and proves corruption composes with the
+    recoverable fault tier."""
+    duration = 35.0 if quick else 60.0
+    base = NemesisSchedule.corruption_from_seed(
+        seed, duration=duration, events=3 if quick else 5)
+    rng = random.Random(seed ^ 0x5EED)
+    loss = NemesisSchedule([
+        NemesisEvent("loss", at=round(rng.uniform(1.0, duration * 0.3), 2),
+                     duration=round(rng.uniform(4.0, 8.0), 2),
+                     params={"rate": 0.35}),
+    ])
+    return NemesisSchedule.overlap(base, loss)
+
+
 # ----------------------------------------------------------------------
 # one case
 # ----------------------------------------------------------------------
@@ -138,13 +166,21 @@ def run_case(
     heal_window: Optional[float] = None,
     settle: float = 10.0,
     redundancy_mode: str = "static",
+    nemesis_mode: str = "stock",
+    break_audit: bool = False,
+    bound_rounds: int = 8,
 ) -> CaseResult:
     """Run one fully deterministic checking case and evaluate it."""
     if schedule is None:
-        schedule = (break_repair_schedule(quick) if break_repair
-                    else stock_schedule(seed, quick))
+        if break_repair:
+            schedule = break_repair_schedule(quick)
+        elif nemesis_mode == "corruption":
+            schedule = corruption_schedule(seed, quick)
+        else:
+            schedule = stock_schedule(seed, quick)
     config = case_config(seed, quick=quick, break_repair=break_repair,
-                         redundancy_mode=redundancy_mode)
+                         redundancy_mode=redundancy_mode,
+                         break_audit=break_audit)
     dd = DataDroplets(config).start(warmup=10.0)
     recorder = HistoryRecorder()
     store = recorder.attach(dd)
@@ -156,6 +192,12 @@ def run_case(
     dd.run_for(3.0)
 
     nemesis = Nemesis(dd, schedule, history=recorder.history)
+    monitor: Optional[ConvergenceMonitor] = None
+    if nemesis_mode == "corruption":
+        monitor = ConvergenceMonitor(dd, recorder.history,
+                                     round_length=config.repair_period,
+                                     bound_rounds=bound_rounds)
+        nemesis.monitor = monitor
     t0 = dd.sim.now
     nemesis.arm()
 
@@ -182,6 +224,8 @@ def run_case(
     dd.run_for(heal_window if heal_window is not None else (25.0 if quick else 40.0))
     for key, _ in dataset:
         store.get(key, final=True)
+    if monitor is not None:
+        monitor.finalize()
 
     history = recorder.history
     violations: List[checkers.Violation] = []
@@ -192,6 +236,8 @@ def run_case(
     snapshot = checkers.snapshot_cluster(dd)
     violations += checkers.check_replica_floor(snapshot, history, floor=floor)
     violations += checkers.check_convergence(snapshot, history)
+    if monitor is not None:
+        violations += check_corruption_healed(history, bound_rounds=bound_rounds)
 
     errors = sum(1 for op in history.ops if not op.ok)
     stats = {
@@ -203,6 +249,8 @@ def run_case(
         "virtual_time": round(dd.sim.now, 2),
         "redundancy_mode": redundancy_mode,
     }
+    if monitor is not None:
+        stats["corruption"] = monitor.summary()
     if dd.repair_provider is not None:
         stats["adaptive"] = {
             k: v for k, v in dd.repair_provider.describe(dd.sim.now).items()
@@ -261,6 +309,9 @@ def explore(
     max_shrink_runs: int = 24,
     progress: Optional[Callable[[str], None]] = None,
     redundancy_mode: str = "static",
+    nemesis_mode: str = "stock",
+    break_audit: bool = False,
+    bound_rounds: int = 8,
 ) -> Dict[str, Any]:
     """Fuzz ``seeds`` cases; confirm and shrink every failure.
 
@@ -272,12 +323,17 @@ def explore(
         "break_repair": break_repair,
         "floor": floor,
         "redundancy_mode": redundancy_mode,
+        "nemesis": nemesis_mode,
+        "break_audit": break_audit,
+        "bound_rounds": bound_rounds,
         "seeds": [],
         "failures": [],
     }
     for seed in range(seed_base, seed_base + seeds):
         result = run_case(seed, quick=quick, break_repair=break_repair,
-                          floor=floor, redundancy_mode=redundancy_mode)
+                          floor=floor, redundancy_mode=redundancy_mode,
+                          nemesis_mode=nemesis_mode, break_audit=break_audit,
+                          bound_rounds=bound_rounds)
         report["seeds"].append({
             "seed": seed,
             "ok": result.ok,
@@ -290,7 +346,9 @@ def explore(
         say(f"seed {seed}: {len(result.violations)} violation(s), confirming")
         rerun = run_case(seed, schedule=result.schedule, quick=quick,
                          break_repair=break_repair, floor=floor,
-                         redundancy_mode=redundancy_mode)
+                         redundancy_mode=redundancy_mode,
+                         nemesis_mode=nemesis_mode, break_audit=break_audit,
+                         bound_rounds=bound_rounds)
         confirmed = rerun.signature() == result.signature()
         failure: Dict[str, Any] = {
             "seed": seed,
@@ -303,7 +361,10 @@ def explore(
             def still_fails(candidate: NemesisSchedule) -> bool:
                 return not run_case(seed, schedule=candidate, quick=quick,
                                     break_repair=break_repair, floor=floor,
-                                    redundancy_mode=redundancy_mode).ok
+                                    redundancy_mode=redundancy_mode,
+                                    nemesis_mode=nemesis_mode,
+                                    break_audit=break_audit,
+                                    bound_rounds=bound_rounds).ok
 
             shrunk, runs = shrink_schedule(result.schedule, still_fails,
                                            max_runs=max_shrink_runs)
@@ -326,13 +387,18 @@ def replay(artifact: Dict[str, Any],
     break_repair = artifact.get("break_repair", False)
     floor = artifact.get("floor", 1)
     redundancy_mode = artifact.get("redundancy_mode", "static")
+    nemesis_mode = artifact.get("nemesis", "stock")
+    break_audit = artifact.get("break_audit", False)
+    bound_rounds = artifact.get("bound_rounds", 8)
     all_reproduced = True
     for failure in artifact.get("failures", []):
         schedule = NemesisSchedule.from_dicts(
             failure.get("shrunk_schedule") or failure["schedule"])
         result = run_case(failure["seed"], schedule=schedule, quick=quick,
                           break_repair=break_repair, floor=floor,
-                          redundancy_mode=redundancy_mode)
+                          redundancy_mode=redundancy_mode,
+                          nemesis_mode=nemesis_mode, break_audit=break_audit,
+                          bound_rounds=bound_rounds)
         reproduced = not result.ok
         all_reproduced = all_reproduced and reproduced
         say(f"seed {failure['seed']}: "

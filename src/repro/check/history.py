@@ -91,6 +91,12 @@ class History:
     #: key -> info dict for keys wiped by one atomic permanent failure
     #: (the E6a carve-out: loss was unavoidable, not a repair failure).
     extinct_keys: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: One dict per injected state corruption, with virtual timestamps
+    #: (``at``, ``detected_at``, ``healed_at``) and per-type heal
+    #: latency, written by the corruption nemeses' ConvergenceMonitor —
+    #: checkers use these to carve out the pre-heal window exactly like
+    #: fault windows.
+    corruptions: List[Dict[str, Any]] = field(default_factory=list)
 
     def add(self, record: OpRecord) -> None:
         self.ops.append(record)
@@ -118,11 +124,14 @@ class History:
         return False
 
     def to_dicts(self) -> Dict[str, Any]:
-        return {
+        out = {
             "ops": [op.to_dict() for op in self.ops],
             "fault_windows": [list(w) for w in self.fault_windows],
             "extinct_keys": dict(self.extinct_keys),
         }
+        if self.corruptions:
+            out["corruptions"] = [dict(c) for c in self.corruptions]
+        return out
 
 
 class HistoryRecorder:

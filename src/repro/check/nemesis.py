@@ -68,10 +68,22 @@ from repro.sim.churn import PoissonChurn
 from repro.sim.cluster import Cluster
 from repro.sim.node import Node, NodeState
 
+#: State-corruption primitives (the self-stabilisation tier): each
+#: damages *live durable state* on one node, instantaneously, and must
+#: be detected and healed by the audit + anti-entropy machinery — the
+#: bounded-time convergence checker asserts exactly that.
+CORRUPTION_KINDS = (
+    "flip_version",      # roll back / wipe memtable versions on one replica
+    "poison_summary",    # make bucket (xor, count) summaries lie about contents
+    "desync_sieve",      # corrupt the cached sieve ring position
+    "truncate_fallback", # drop parked coordinator fallback writes
+    "scramble_routing",  # damage onehop routing-table exception records
+)
+
 KINDS = (
     "crash", "catastrophe", "partition", "loss", "duplicate", "reorder",
     "delay", "isolate", "pause", "churn", "soft_outage",
-)
+) + CORRUPTION_KINDS
 
 
 @dataclass(frozen=True)
@@ -180,6 +192,14 @@ class NemesisSchedule:
     STOCK_KINDS = ("crash", "partition", "loss", "duplicate", "reorder",
                    "delay", "isolate", "churn")
 
+    #: corruption kinds drawn by corruption_from_seed — every one of
+    #: them self-heals on a stock deployment, so a corruption campaign
+    #: must also come back clean. scramble_routing is excluded: it is a
+    #: no-op under legacy routing (the stock check config); onehop-mode
+    #: campaigns add it explicitly.
+    STOCK_CORRUPTION_KINDS = ("flip_version", "poison_summary",
+                              "desync_sieve", "truncate_fallback")
+
     @staticmethod
     def from_seed(
         seed: int,
@@ -226,9 +246,60 @@ class NemesisSchedule:
                 params = {"rate": round(rng.uniform(0.2, 0.6), 3),
                           "mean_downtime": round(rng.uniform(4.0, 12.0), 2),
                           "permanent_fraction": 0.3 if permanent else 0.0}
+            elif kind == "flip_version":
+                params = {"count": rng.randint(1, 3), "wipe": rng.random() < 0.3}
+                span = 0.0
+            elif kind == "poison_summary":
+                params = {"buckets": rng.randint(1, 2)}
+                span = 0.0
+            elif kind == "desync_sieve":
+                params = {}
+                span = 0.0
+            elif kind == "truncate_fallback":
+                params = {"count": rng.randint(0, 2)}
+                span = 0.0
+            elif kind == "scramble_routing":
+                params = {"flips": rng.randint(1, 3)}
+                span = 0.0
             else:  # soft_outage
                 params = {"fraction": round(rng.uniform(0.3, 0.7), 3)}
             out.append(NemesisEvent(kind, round(at, 2), round(span, 2), params))
+        return NemesisSchedule(out)
+
+    @staticmethod
+    def corruption_from_seed(
+        seed: int,
+        duration: float = 35.0,
+        events: int = 4,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> "NemesisSchedule":
+        """Deterministic state-corruption schedule (self-stabilisation
+        campaigns). Same fuzzing discipline as :meth:`from_seed`, but
+        kinds *cycle* through a shuffled corruption tier instead of
+        being drawn independently — every campaign exercises every
+        primitive (an all-``truncate_fallback`` draw against an empty
+        fallback queue would inject nothing). Composable with stock
+        schedules through :meth:`overlap`/:meth:`sequence`."""
+        rng = random.Random(seed)
+        pool = list(kinds if kinds is not None
+                    else NemesisSchedule.STOCK_CORRUPTION_KINDS)
+        rng.shuffle(pool)
+        out: List[NemesisEvent] = []
+        for i in range(events):
+            kind = pool[i % len(pool)]
+            at = rng.uniform(0.0, duration * 0.7)
+            params: Dict[str, Any]
+            if kind == "flip_version":
+                params = {"count": rng.randint(1, 3), "wipe": rng.random() < 0.3}
+            elif kind == "poison_summary":
+                params = {"buckets": rng.randint(1, 2)}
+            elif kind == "desync_sieve":
+                params = {}
+            elif kind == "truncate_fallback":
+                params = {"count": rng.randint(0, 2)}
+            else:  # scramble_routing
+                params = {"flips": rng.randint(1, 3)}
+            out.append(NemesisEvent(kind, round(at, 2), 0.0, params))
         return NemesisSchedule(out)
 
 
@@ -256,6 +327,15 @@ class Nemesis:
         self.healed = False
         self._armed_at: Optional[float] = None
         self._windows: List[Tuple[float, float]] = []
+        #: Optional ConvergenceMonitor (repro.check.corruption) told
+        #: about every injected corruption so it can track detection
+        #: and bounded-time healing.
+        self.monitor: Optional[Any] = None
+        #: Fault-window width noted for instantaneous corruption events:
+        #: healing is asynchronous (audit + anti-entropy rounds), so
+        #: reads in this settle window may legitimately see pre-heal
+        #: state (mirrors the fault-window carve-out for network faults).
+        self.corruption_settle = 30.0
 
     # ------------------------------------------------------------------
     def arm(self, t0: Optional[float] = None) -> None:
@@ -301,7 +381,8 @@ class Nemesis:
         revert = handler(ev)
         self.applied.append(ev)
         now = self.dd.sim.now
-        self._note_window(now, now + ev.duration)
+        settle = self.corruption_settle if ev.kind in CORRUPTION_KINDS else 0.0
+        self._note_window(now, now + max(ev.duration, settle))
         if revert is not None:
             token = next(self._revert_seq)
             self._reverts[token] = revert
@@ -464,6 +545,143 @@ class Nemesis:
         churn.start()
         self._churns.append(churn)
         return churn.stop
+
+    # -- state-corruption handlers (self-stabilisation tier) -----------
+    # All instantaneous (no revert): the system itself must detect and
+    # heal the damage; the ConvergenceMonitor asserts it does in time.
+
+    def _note_corruption(self, kind: str, node: Node, details: Dict[str, Any]) -> None:
+        if self.monitor is not None:
+            self.monitor.note_injection(kind, node.node_id.value, details,
+                                        self.dd.sim.now)
+
+    def _up_storage(self) -> List[Node]:
+        return [n for n in self.dd.storage_nodes if n.is_up]
+
+    def _flippable_keys(self, victim: Node, require_rollback: bool) -> List[str]:
+        """Keys on ``victim`` whose corruption is *healable*: the
+        victim's own primary sieve admits them (same-range reconciliation
+        covers only admitted items) and at least one other live replica
+        holds a copy at >= the victim's version (something must exist to
+        heal *from* — corrupting the sole newest copy would manufacture
+        unavoidable data loss, which is the permanent-kill nemesis's
+        job, not this one's)."""
+        storage = victim.protocol("storage")
+        others = [n.protocol("storage") for n in self._up_storage() if n is not victim]
+        eligible: List[str] = []
+        for item in sorted(storage.memtable.all_items(), key=lambda i: i.key):
+            if require_rollback and item.version.sequence <= 0:
+                continue
+            if not storage.primary_sieve.admits(item.key, item.record):
+                continue
+            for other in others:
+                held = other.memtable.get_any(item.key)
+                if (held is not None and held.version >= item.version
+                        and other.primary_sieve.admits(item.key, item.record)):
+                    eligible.append(item.key)
+                    break
+        return eligible
+
+    def _do_flip_version(self, ev: NemesisEvent) -> None:
+        count = max(1, int(ev.params.get("count", 2)))
+        wipe = bool(ev.params.get("wipe", False))
+        pool = self._up_storage()
+        self._rng.shuffle(pool)
+        for node in pool:
+            eligible = self._flippable_keys(node, require_rollback=not wipe)
+            if not eligible:
+                continue
+            keys = self._rng.sample(eligible, min(count, len(eligible)))
+            details = node.protocol("storage").corrupt(
+                "flip_version", self._rng, keys=keys, wipe=wipe,
+                steps=int(ev.params.get("steps", 1)))
+            if details["keys"]:
+                self._note_corruption("flip_version", node, details)
+            return None
+        return None
+
+    def _do_poison_summary(self, ev: NemesisEvent) -> None:
+        pool = [n for n in self._up_storage()
+                if len(n.protocol("storage").memtable) > 0]
+        if not pool:
+            return None
+        node = self._rng.choice(pool)
+        details = node.protocol("storage").corrupt(
+            "poison_summary", self._rng, buckets=int(ev.params.get("buckets", 1)))
+        if details["buckets"]:
+            self._note_corruption("poison_summary", node, details)
+        return None
+
+    def _do_desync_sieve(self, ev: NemesisEvent) -> None:
+        pool = self._up_storage()
+        if not pool:
+            return None
+        node = self._rng.choice(pool)
+        details = node.protocol("storage").corrupt("desync_sieve", self._rng)
+        if details.get("desynced"):
+            self._note_corruption("desync_sieve", node, details)
+        return None
+
+    def _do_truncate_fallback(self, ev: NemesisEvent) -> None:
+        pool = [n for n in self.dd.soft_nodes
+                if n.is_up and n.durable.get("soft-fallback")]
+        if not pool:
+            return None
+        node = self._rng.choice(pool)
+        removed = node.protocol("soft").corrupt_fallback(
+            self._rng, count=int(ev.params.get("count", 0)))
+        if not removed:
+            return None
+        # Extinction carve-out, mirroring _note_permanent_kills: a parked
+        # fallback write may be the *only* durable copy of an acked
+        # write. If no live storage replica holds >= that version, no
+        # protocol can recover it — unavoidable loss by definition,
+        # recorded so the lost-write checker skips it. Keys that do have
+        # a storage replica heal at injection time (the flush loop's
+        # reason to exist is simply gone for them).
+        now = self.dd.sim.now
+        extinct: List[str] = []
+        for key, packed in removed:
+            survives = False
+            for sn in self.dd.storage_nodes:
+                if sn.state is NodeState.DEAD:
+                    continue
+                memtable = sn.durable.get("memtable")
+                held = memtable.get_any(key) if memtable is not None else None
+                if held is not None and held.version.packed() >= packed:
+                    survives = True
+                    break
+            if not survives:
+                extinct.append(key)
+                info = {"at": now, "holders_before": 1,
+                        "killed": [node.node_id.value],
+                        "cause": "truncate_fallback"}
+                self.extinct_keys[key] = info
+                if self.history is not None:
+                    self.history.extinct_keys[key] = info
+        details = {"removed": [[key, packed] for key, packed in removed],
+                   "extinct": extinct}
+        self._note_corruption("truncate_fallback", node, details)
+        return None
+
+    def _do_scramble_routing(self, ev: NemesisEvent) -> None:
+        pool = []
+        for node in self.dd.soft_nodes:
+            if not node.is_up:
+                continue
+            try:
+                node.protocol("onehop")
+            except KeyError:
+                continue  # legacy routing: nothing to scramble
+            pool.append(node)
+        if not pool:
+            return None
+        node = self._rng.choice(pool)
+        details = node.protocol("onehop").corrupt_table(
+            self._rng, flips=int(ev.params.get("flips", 2)))
+        if details["scrambled"]:
+            self._note_corruption("scramble_routing", node, details)
+        return None
 
     # -- extinction bookkeeping (E6a carve-out) ------------------------
     def _note_permanent_kills(self, victims: Sequence[Node]) -> None:

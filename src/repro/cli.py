@@ -232,8 +232,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_e16(args)
     if args.experiment == "e17":
         return _bench_e17(args)
+    if args.experiment == "e18":
+        return _bench_e18(args)
     if args.experiment != "e15":
-        print(f"unknown bench {args.experiment!r}; available: e05b, e06, e15, e16, e17",
+        print(f"unknown bench {args.experiment!r}; available: "
+              "e05b, e06, e15, e16, e17, e18",
               file=sys.stderr)
         return 2
     from repro.epidemic.costbench import measure_antientropy_cost
@@ -564,6 +567,52 @@ def _bench_e17(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _bench_e18(args: argparse.Namespace) -> int:
+    """Self-stabilisation under state corruption.
+
+    Runs corruption-nemesis checking campaigns over a handful of seeds
+    and aggregates the convergence monitor's annotations: every injected
+    corruption (version flips, poisoned summaries, sieve desync,
+    fallback truncation) must be *detected* by the system's own
+    protocols and *healed* within the anti-entropy round bound, with
+    zero checker violations. The per-kind heal-round histogram is the
+    experiment's headline figure.
+    """
+    from repro.check.stabbench import measure_selfstabilisation
+
+    seeds = 5
+    bound = 8
+    print(f"e18: self-stabilisation, {seeds} corruption campaigns, "
+          f"heal bound {bound} rounds")
+    result = measure_selfstabilisation(
+        seeds=seeds, seed_base=args.seed, bound_rounds=bound)
+    for kind, cell in sorted(result["by_kind"].items()):
+        hist = ", ".join(f"{r}r:{n}" for r, n in sorted(
+            cell["heal_rounds"].items(), key=lambda kv: int(kv[0])))
+        print(f"  {kind:<18} injected {cell['injected']:>2}  "
+              f"detected {cell['detected']:>2}  healed {cell['healed']:>2}  "
+              f"rounds [{hist or '-'}]")
+    print(f"  total: {result['injected']} injected, "
+          f"{result['detected']} detected, {result['healed']} healed, "
+          f"max {result['max_rounds']} round(s), "
+          f"{result['violations']} checker violation(s), "
+          f"wall {result['wall_s']:.1f}s")
+
+    if not args.check:
+        return 0
+    gates = {
+        "corruptions_injected": result["injected"] > 0,
+        "all_detected": result["detected"] == result["injected"],
+        "all_healed": result["healed"] == result["injected"],
+        "healed_within_bound": result["max_rounds"] <= bound,
+        "no_violations": result["violations"] == 0,
+    }
+    ok = all(gates.values())
+    _write_artifact("e18", result, gates)
+    print("check:", "ok" if ok else "FAILED (see gates in BENCH_e18.json)")
+    return 0 if ok else 1
+
+
 def _cmd_sim(args: argparse.Namespace) -> int:
     """Run the stock sharded dissemination workload once."""
     from repro.sim.shardbench import measure_scale
@@ -707,6 +756,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         progress=print,
         redundancy_mode=args.redundancy_mode,
+        nemesis_mode=args.nemesis,
+        break_audit=args.break_audit,
+        bound_rounds=args.bound_rounds,
     )
     if args.artifact is not None:
         with open(args.artifact, "w") as fh:
@@ -773,8 +825,10 @@ def build_parser() -> argparse.ArgumentParser:
                       "vs heartbeat mesh vs single-hop; e06: adaptive vs "
                       "static redundancy under churn; e15: anti-entropy "
                       "reconciliation cost; e16: runtime wire cost; e17: "
-                      "sharded scale + vectorised sieve)")
-    bench.add_argument("experiment", help="experiment id (e05b, e06, e15, e16, e17)")
+                      "sharded scale + vectorised sieve; e18: "
+                      "self-stabilisation under state corruption)")
+    bench.add_argument("experiment",
+                       help="experiment id (e05b, e06, e15, e16, e17, e18)")
     bench.add_argument("-n", "--items", type=int, default=None,
                        help="store items (e15, default 2000) or messages "
                             "per round (e16, default 60)")
@@ -906,6 +960,18 @@ def build_parser() -> argparse.ArgumentParser:
                        default="static",
                        help="redundancy maintenance mode for the campaign "
                             "deployments (adaptive = lifetime-aware targets)")
+    check.add_argument("--nemesis", choices=("stock", "corruption"),
+                       default="stock",
+                       help="fault tier to fuzz: 'stock' recoverable faults, "
+                            "or 'corruption' state-corruption events with the "
+                            "bounded-time self-stabilisation checker")
+    check.add_argument("--break-audit", action="store_true",
+                       help="positive control for --nemesis corruption: "
+                            "disable the periodic state audit so poisoned "
+                            "summaries cannot heal — violations expected")
+    check.add_argument("--bound-rounds", type=int, default=8,
+                       help="anti-entropy rounds within which every injected "
+                            "corruption must be detected and healed")
     check.add_argument("--floor", type=int, default=1,
                        help="replica-count floor asserted after quiesce")
     check.add_argument("--no-shrink", action="store_true",

@@ -105,6 +105,14 @@ class DataDropletsConfig:
 
     # storage
     memtable_capacity: Optional[int] = None
+    # Periodic state audit (self-stabilisation): every storage node
+    # recomputes its rolling bucket summaries and cached sieve state from
+    # first principles and repairs whatever drifted — closing the
+    # detection gap for corruption the digest exchange cannot see
+    # (summaries poisoned to still agree per key; a desynced sieve
+    # position). See docs/API.md "State corruption & self-stabilisation".
+    audit_enabled: bool = True
+    audit_period: float = 6.0
 
     # soft layer
     soft: SoftStateConfig = field(default_factory=SoftStateConfig)
@@ -166,6 +174,8 @@ class DataDropletsConfig:
             raise ConfigurationError("adaptive_min_deaths must be positive")
         if self.onehop_quarantine_window < 0:
             raise ConfigurationError("onehop_quarantine_window must be >= 0")
+        if self.audit_period <= 0:
+            raise ConfigurationError("audit_period must be positive")
         seen = set()
         for index in self.indexes:
             if index.attribute in seen:

@@ -111,6 +111,8 @@ class StorageNodeProtocol(Protocol):
         indexes: Sequence[IndexSpec],
         replication: int,
         gossip: str = "gossip",
+        audit_enabled: bool = True,
+        audit_period: float = 6.0,
     ):
         super().__init__()
         self.memtable = memtable
@@ -122,12 +124,15 @@ class StorageNodeProtocol(Protocol):
         self.gossip_name = gossip
         self.maintenance_period = 15.0
         self.migration_batch = 200
+        self.audit_enabled = audit_enabled
+        self.audit_period = audit_period
         self._seen_scans: "OrderedDict[str, None]" = OrderedDict()
         # key -> attribute -> bucket the item was admitted under; drift
         # of equi-depth boundaries is detected against this.
         self._index_buckets: Dict[str, Dict[str, int]] = {}
         self._migration_round = 0
         self._maintenance_timer = None
+        self._audit_timer = None
 
     # ------------------------------------------------------------------
     def on_start(self) -> None:
@@ -136,10 +141,14 @@ class StorageNodeProtocol(Protocol):
         self.host.protocol(self.gossip_name).subscribe(self._on_gossip)  # type: ignore[attr-defined]
         if self.index_sieves:
             self._maintenance_timer = self.every(self.maintenance_period, self.run_index_maintenance)
+        if self.audit_enabled:
+            self._audit_timer = self.every(self.audit_period, self.run_state_audit)
 
     def on_stop(self) -> None:
         if self._maintenance_timer is not None:
             self._maintenance_timer.stop()
+        if self._audit_timer is not None:
+            self._audit_timer.stop()
 
     # ------------------------------------------------------------------
     # gossip deliveries
@@ -543,6 +552,93 @@ class StorageNodeProtocol(Protocol):
             return None
         return max(values) if is_max else min(values)
 
+    # ------------------------------------------------------------------
+    # self-stabilisation: periodic state audit + corruption seam
+    # ------------------------------------------------------------------
+    def _primary_bucket_sieve(self) -> Optional[BucketSieve]:
+        """The BucketSieve carrying this node's cached ring position
+        (directly, or behind a tag/equi-depth wrapper)."""
+        sieve = self.primary_sieve
+        while sieve is not None and not isinstance(sieve, BucketSieve):
+            sieve = getattr(sieve, "inner", None)
+        return sieve
+
+    def run_state_audit(self) -> int:
+        """Recompute derived state from first principles and repair drift.
+
+        This is the self-stabilisation hook: bucket summaries that were
+        corrupted to *agree* with nothing ship over the digest exchange
+        (per-key versions still match, so the three-phase protocol sees
+        a forever-diverged bucket but transfers zero items), and a desynced
+        sieve position silently re-shapes what this node believes it owns.
+        Both are pure functions of durable state, so a periodic recompute
+        detects and heals them. Returns the number of repairs made."""
+        repaired_buckets = self.memtable.audit_bucket_summaries()
+        if repaired_buckets:
+            self.host.metrics.counter("storage.summary_audit_repairs").inc(len(repaired_buckets))
+        sieve_repairs = 0
+        if self.full_sieve.audit():
+            sieve_repairs += 1
+        # full_sieve shares the primary object when a UnionSieve wraps
+        # it, but a bare primary config has full_sieve IS primary — the
+        # second audit is then an idempotent no-op either way.
+        if self.primary_sieve is not self.full_sieve and self.primary_sieve.audit():
+            sieve_repairs += 1
+        if sieve_repairs:
+            self.host.metrics.counter("storage.sieve_audit_repairs").inc(sieve_repairs)
+        return len(repaired_buckets) + sieve_repairs
+
+    def corrupt(self, kind: str, rng, **params) -> Dict[str, Any]:
+        """Nemesis seam: damage this node's live durable state.
+
+        Exists only for fault injection (the check harness's corruption
+        nemesis tier); every primitive here must be detected and healed
+        by the audit + anti-entropy machinery, which the bounded-time
+        convergence checker asserts. Returns injection details the
+        checker needs to define "healed"."""
+        if kind == "flip_version":
+            flipped: Dict[str, int] = {}
+            wipe = bool(params.get("wipe", False))
+            for key in params.get("keys", ()):
+                old = (self.memtable.corrupt_wipe(key) if wipe
+                       else self.memtable.corrupt_version(key, int(params.get("steps", 1))))
+                if old is not None:
+                    flipped[key] = old
+            self.host.metrics.counter("storage.corruptions_injected").inc()
+            return {"keys": flipped, "wipe": wipe}
+        if kind == "poison_summary":
+            non_empty = [b for b in range(self.memtable.bucket_count())
+                         if self.memtable.bucket_keys(b)]
+            if not non_empty:
+                return {"buckets": []}
+            count = max(1, min(int(params.get("buckets", 1)), len(non_empty)))
+            chosen = sorted(rng.sample(non_empty, count))
+            for bucket in chosen:
+                poison_key = min(self.memtable.bucket_keys(bucket))
+                self.memtable.corrupt_bucket_summary(
+                    bucket,
+                    xor_mask=rng.getrandbits(64) | 1,  # never the identity mask
+                    count_delta=rng.choice((-1, 1, 2)),
+                    poison_key=poison_key,
+                )
+            self.host.metrics.counter("storage.corruptions_injected").inc()
+            return {"buckets": chosen}
+        if kind == "desync_sieve":
+            sieve = self._primary_bucket_sieve()
+            if sieve is None:
+                return {"desynced": False}
+            old_position = sieve.position
+            # Force a *different* position so the corruption is real.
+            while True:
+                position = rng.random()
+                if position != old_position:
+                    break
+            sieve.position = position
+            self.host.metrics.counter("storage.corruptions_injected").inc()
+            return {"desynced": True, "old_position": old_position,
+                    "new_position": position}
+        raise ValueError(f"unknown corruption kind {kind!r}")
+
 
 def make_storage_stack(
     config: DataDropletsConfig,
@@ -699,6 +795,8 @@ def make_storage_stack(
             index_sieves=index_sieves,
             indexes=config.indexes,
             replication=config.replication,
+            audit_enabled=config.audit_enabled,
+            audit_period=config.audit_period,
         )
 
         protocols.append(

@@ -37,6 +37,7 @@ from repro.randomwalk.sampling import (
 )
 from repro.randomwalk.walker import RandomWalkProtocol
 from repro.sieve.base import Sieve
+from repro.sieve.keyspace import node_position
 from repro.sim.node import Protocol
 from repro.store.memtable import Memtable
 
@@ -244,9 +245,37 @@ class RedundancyManager(Protocol):
             lambda reports: self._census_done(reports, range_key, n_estimate),
         )
 
+    def _position_echo_ok(self, report: Dict[str, Any]) -> bool:
+        """Verify a census report's sieve fingerprint against the
+        reporter's identity.
+
+        A bucket-style ``range_key`` is a pure function of the
+        reporter's node id (ring position) and its claimed bucket count,
+        so the receiver can recompute the expected bucket index — a
+        node whose cached sieve position was corrupted *claims a range
+        it does not actually cover*, which would otherwise inflate our
+        population estimate and poison the peer list. Non-bucket range
+        keys (static arcs, per-item ablation) carry no verifiable echo
+        and pass through."""
+        value = report.get("node")
+        range_key = report.get("range_key")
+        if value is None or not (
+            isinstance(range_key, tuple) and len(range_key) >= 3 and range_key[-3] == "bucket"
+        ):
+            return True
+        buckets, index = range_key[-2], range_key[-1]
+        if not (isinstance(buckets, int) and isinstance(index, int) and buckets > 0):
+            return True
+        expected = min(buckets - 1, int(node_position(NodeId(value)) * buckets))
+        if index == expected:
+            return True
+        self.host.metrics.counter("redundancy.sieve_desync_detected").inc()
+        return False
+
     def _census_done(self, reports: List[Dict[str, Any]], range_key, n_estimate: float) -> None:
         if self.sieve.range_key() != range_key:
             return  # our range moved (size estimate shifted) — stale census
+        reports = [r for r in reports if self._position_echo_ok(r)]
         estimate = estimate_range_population(reports, range_key, n_estimate)
         self.last_population = estimate.population
         self.host.metrics.histogram("redundancy.population").observe(estimate.population)

@@ -90,5 +90,8 @@ class DistributionAwareSieve(Sieve):
         index = self.inner.bucket_index()
         return (estimate.quantile(index / buckets), estimate.quantile((index + 1) / buckets))
 
+    def audit(self) -> bool:
+        return self.inner.audit()
+
     def describe(self) -> str:
         return f"equi-depth({self.attribute}, {self.inner.describe()})"

@@ -45,6 +45,16 @@ class Sieve(ABC):
     def describe(self) -> str:
         """Human-readable summary for logs and experiment reports."""
 
+    def audit(self) -> bool:
+        """Re-derive any cached decision state from first principles.
+
+        Sieves are deterministic in (node identity, item), so everything
+        a sieve caches — e.g. the node's ring position — can always be
+        recomputed. The periodic state audit calls this so arbitrary
+        corruption of cached sieve state self-heals (self-stabilisation).
+        Returns True when something had drifted and was repaired."""
+        return False
+
 
 class AcceptAllSieve(Sieve):
     """Keeps everything. Baseline/testing sieve (a cache node, in effect)."""
@@ -86,6 +96,11 @@ class UnionSieve(Sieve):
         if all(k is None for k in keys):
             return None
         return keys
+
+    def audit(self) -> bool:
+        # No any() short-circuit: every constituent must get its audit
+        # pass even when an earlier one already repaired something.
+        return any([s.audit() for s in self.sieves])
 
     def describe(self) -> str:
         return " | ".join(s.describe() for s in self.sieves)

@@ -76,5 +76,8 @@ class TagSieve(Sieve):
     def range_key(self) -> Hashable:
         return ("tagged",) + tuple(self.inner.range_key())  # type: ignore[operator]
 
+    def audit(self) -> bool:
+        return self.inner.audit()
+
     def describe(self) -> str:
         return f"tagged({self.inner.describe()})"

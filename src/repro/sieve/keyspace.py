@@ -99,6 +99,18 @@ class BucketSieve(Sieve):
         buckets = self.bucket_count()
         return ("bucket", buckets, self.bucket_index())
 
+    def audit(self) -> bool:
+        """Re-derive the cached ring position from the node id.
+
+        ``position`` is pure function of ``node_id`` — the only mutable
+        state a corruption nemesis can desync — so the audit just
+        recomputes it. Returns True when it had drifted."""
+        expected = node_position(self.node_id)
+        if self.position == expected:
+            return False
+        self.position = expected
+        return True
+
     def describe(self) -> str:
         buckets = self.bucket_count()
         return f"bucket({self.bucket_index()}/{buckets})"
@@ -137,6 +149,9 @@ class CapacityScaledSieve(Sieve):
         # Capacity-scaled arcs still anchor to their base bucket for
         # redundancy accounting (the overlap is strictly wider).
         return self.inner.range_key()
+
+    def audit(self) -> bool:
+        return self.inner.audit()
 
     def describe(self) -> str:
         return f"capacity({self.capacity:.2f}x, {self.inner.describe()})"

@@ -266,6 +266,29 @@ class SoftStateProtocol(Protocol):
     def _fallback_store(self) -> Dict[str, VersionedTuple]:
         return self.host.durable.setdefault("soft-fallback", {})
 
+    def corrupt_fallback(self, rng, count: int = 0) -> List[Tuple[str, int]]:
+        """Nemesis seam: truncate the parked-write fallback queue.
+
+        Drops up to ``count`` parked items (all of them when 0). These
+        writes were acked to clients but may exist nowhere else — the
+        convergence checker must decide per key whether a storage
+        replica still holds the version (then the flush loop's job is
+        simply gone) or the sole durable copy was just destroyed (an
+        extinction event, mirrored from the permanent-kill carve-out).
+        Returns the removed (key, packed version) pairs."""
+        fallback = self._fallback_store()
+        keys = sorted(fallback)
+        if count > 0:
+            keys = rng.sample(keys, min(count, len(keys)))
+        removed: List[Tuple[str, int]] = []
+        for key in keys:
+            item = fallback.pop(key, None)
+            if item is not None:
+                removed.append((key, item.version.packed()))
+        if removed:
+            self.host.metrics.counter("soft.fallback_truncated").inc(len(removed))
+        return removed
+
     # ------------------------------------------------------------------
     # message dispatch
     # ------------------------------------------------------------------

@@ -475,6 +475,84 @@ class RoutingTable:
                 entries.append(event)
         return entries
 
+    # -- self-stabilisation ---------------------------------------------
+    def _expected_deltas(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Delta summaries recomputed from the exception records — what
+        ``_set``'s incremental maintenance must always telescope to."""
+        xors: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for value, packed in self._exceptions.items():
+            bucket = self.space.bucket_of(value)
+            incarnation, status = _unpack(packed)
+            xor = xors.get(bucket, 0) ^ fingerprint64(
+                value, _summary_packed(incarnation, status))
+            base = self.space.baseline.get(value)
+            if base is None:
+                counts[bucket] = counts.get(bucket, 0) + 1
+            else:
+                base_inc, base_st = _unpack(base)
+                xor ^= fingerprint64(value, _summary_packed(base_inc, base_st))
+            xors[bucket] = xor
+        return xors, counts
+
+    def summaries_consistent(self) -> bool:
+        """Whether the incremental delta summaries match the records
+        (the convergence checker's heal predicate for table scrambling)."""
+        xors, counts = self._expected_deltas()
+        buckets = set(xors) | set(counts) | set(self._delta_xor) | set(self._delta_count)
+        for bucket in buckets:
+            if self._delta_xor.get(bucket, 0) != xors.get(bucket, 0):
+                return False
+            if self._delta_count.get(bucket, 0) != counts.get(bucket, 0):
+                return False
+        return all(self.space.baseline.get(v) != p for v, p in self._exceptions.items())
+
+    def audit(self) -> int:
+        """Recompute delta summaries from the records and repair drift.
+
+        Raw exception damage (the scramble nemesis) leaves the digests
+        describing a table that no longer exists — anti-entropy then
+        settles on the root digest while the actual records diverge, so
+        the lie never spreads and never meets a refutation. Making the
+        digests honest again is what lets the epidemic repair machinery
+        (summary exchange + SWIM refutation) see and heal the damage.
+        Returns the number of repairs."""
+        repairs = 0
+        for value in [v for v, p in self._exceptions.items()
+                      if self.space.baseline.get(v) == p]:
+            self._exceptions.pop(value)  # deviations-only invariant
+            repairs += 1
+        xors, counts = self._expected_deltas()
+        if not self.summaries_consistent():
+            self._delta_xor = xors
+            self._delta_count = counts
+            repairs += 1
+        return repairs
+
+    def corrupt(self, rng, flips: int = 2, exclude: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Nemesis seam: scramble exception records *without* updating
+        the delta summaries (raw state damage, as a bit-flip would do).
+        Marks alive members suspect/dead at an inflated incarnation —
+        exactly the rumors SWIM refutation is built to kill once the
+        audit makes the digests admit the table changed. Returns the
+        scrambled (value, new_packed) pairs."""
+        candidates = [v for v in self.space.members_list
+                      if v != exclude and v != self.owner and self.is_alive(v)]
+        if not candidates:
+            return []
+        scrambled: List[Tuple[int, int]] = []
+        for value in rng.sample(candidates, min(flips, len(candidates))):
+            record = self.record(value)
+            if record is None:
+                continue
+            incarnation = record[0] + rng.choice((1, 2))
+            status = rng.choice((STATUS_SUSPECT, STATUS_DEAD))
+            packed = _pack(incarnation, status)
+            self._exceptions[value] = packed  # bypasses _set: deltas now lie
+            self._quarantine.pop(value, None)
+            scrambled.append((value, packed))
+        return scrambled
+
 
 # -- the protocol -------------------------------------------------------------
 
@@ -742,9 +820,28 @@ class OneHopRouting(Protocol):
             return  # refuted (higher incarnation) or already dead
         self._originate(MemberEvent(value, incarnation, EVENT_DEAD))
 
+    # -- corruption seam ------------------------------------------------
+    def corrupt_table(self, rng, flips: int = 2) -> Dict[str, Any]:
+        """Nemesis seam: scramble routing-table exceptions on this node
+        (records damaged, digests left lying) and project the damage
+        into the mirror ring so routing actually misbehaves."""
+        assert self.table is not None
+        scrambled = self.table.corrupt(rng, flips, exclude=self.host.node_id.value)
+        for value, _ in scrambled:
+            self._sync_mirror(value)
+        if scrambled:
+            self.host.metrics.counter("onehop.corruptions_injected").inc()
+        return {"scrambled": [value for value, _ in scrambled]}
+
     # -- anti-entropy ---------------------------------------------------
     def _antientropy_round(self) -> None:
         assert self.table is not None
+        # Periodic audit: re-derive the incremental digests from the
+        # records so arbitrary table damage becomes *visible* divergence
+        # the exchange below can spread — and refutation can then heal.
+        repairs = self.table.audit()
+        if repairs:
+            self.host.metrics.counter("onehop.table_audit_repairs").inc(repairs)
         peers = self._sample_alive(1)
         if not peers:
             return

@@ -271,6 +271,136 @@ class Memtable(BucketedStore):
             counts[bucket] += 1
         return tuple(zip(xors, counts))
 
+    # ------------------------------------------------------------------
+    # state-corruption seams + self-stabilising audit
+    # ------------------------------------------------------------------
+    def corrupt_version(self, key: str, steps: int = 1) -> Optional[int]:
+        """Nemesis seam: roll ``key``'s version back by ``steps``.
+
+        The tuple's record is kept verbatim (no fabricated values can
+        ever surface from this corruption — readers at worst see a value
+        an earlier write genuinely produced at this replica) and the
+        mutation goes through :meth:`_note_mutation`, so the local
+        summaries stay consistent — the divergence this injects is
+        *between replicas*, which is exactly what the bucketed
+        anti-entropy exchange must detect and heal. Returns the packed
+        pre-corruption version, or None when the key is absent or its
+        sequence cannot go lower."""
+        item = self._tuples.get(key)
+        if item is None:
+            return None
+        sequence = max(0, item.version.sequence - max(1, steps))
+        if sequence == item.version.sequence:
+            return None
+        old_packed = item.version.packed()
+        rolled = VersionedTuple(
+            key=item.key,
+            version=Version(sequence, item.version.coordinator),
+            record=dict(item.record),
+            tombstone=item.tombstone,
+        )
+        self._tuples[key] = rolled
+        self._note_mutation(key, item, rolled)
+        return old_packed
+
+    def corrupt_wipe(self, key: str) -> Optional[int]:
+        """Nemesis seam: drop ``key`` outright (one replica loses its
+        copy; peers re-push it through the bucket-digest exchange).
+        Returns the packed version that was destroyed, or None."""
+        item = self._tuples.get(key)
+        if item is None:
+            return None
+        old_packed = item.version.packed()
+        self.delete(key)
+        return old_packed
+
+    def corrupt_bucket_summary(self, bucket: int, xor_mask: int = 0,
+                               count_delta: int = 0,
+                               poison_key: Optional[str] = None) -> None:
+        """Nemesis seam: make bucket ``bucket``'s rolling summary (and
+        optionally one key's remembered fingerprint) lie about the
+        contents. Invisible to the digest exchange — per-key versions
+        still agree between replicas, so nothing ever ships — which is
+        precisely the detection gap :meth:`audit_bucket_summaries`
+        exists to close."""
+        if not 0 <= bucket < self._buckets:
+            raise ValueError("bucket out of range")
+        self._bucket_xor[bucket] ^= xor_mask
+        self._bucket_count_items[bucket] += count_delta
+        if poison_key is not None:
+            meta = self._meta.get(poison_key)
+            if meta is not None:
+                self._meta[poison_key] = (meta[0], meta[1] ^ (xor_mask or 0x9E3779B97F4A7C15))
+        # Mark the bucket dirty so scoped-digest caches rebuild from the
+        # poisoned fingerprints: the lie *propagates* into anti-entropy
+        # summaries (a phantom divergence the exchange can see but never
+        # heal — per-key versions still agree, so no items ever ship).
+        self.mutation_epoch += 1
+        self._bucket_epochs[bucket] = self.mutation_epoch
+
+    def summaries_consistent(self) -> bool:
+        """Whether every piece of rolling summary state matches the
+        contents — the audit's (and the convergence checker's) heal
+        predicate for summary poisoning."""
+        if self.bucket_summaries() != self.recompute_bucket_summaries():
+            return False
+        if set(self._meta) != set(self._tuples):
+            return False
+        for key, item in self._tuples.items():
+            position = key_hash(key)
+            expected = (position % self._buckets,
+                        fingerprint64(position, item.version.packed()))
+            if self._meta.get(key) != expected:
+                return False
+            if key not in self._bucket_keys[expected[0]]:
+                return False
+        return True
+
+    def audit_bucket_summaries(self) -> List[int]:
+        """Recompute every derived summary structure from ``_tuples``
+        and repair whatever disagrees (the periodic self-stabilisation
+        hook). Returns the indices of repaired buckets; repaired buckets
+        get fresh epochs so scoped-digest caches (RangeScopedStore)
+        rebuild from the corrected fingerprints."""
+        expected_meta: Dict[str, Tuple[int, int]] = {}
+        xors = [0] * self._buckets
+        counts = [0] * self._buckets
+        keys: List[Set[str]] = [set() for _ in range(self._buckets)]
+        for key, item in self._tuples.items():
+            position = key_hash(key)
+            bucket = position % self._buckets
+            fingerprint = fingerprint64(position, item.version.packed())
+            expected_meta[key] = (bucket, fingerprint)
+            xors[bucket] ^= fingerprint
+            counts[bucket] += 1
+            keys[bucket].add(key)
+        repaired: List[int] = []
+        for bucket in range(self._buckets):
+            if (self._bucket_xor[bucket] == xors[bucket]
+                    and self._bucket_count_items[bucket] == counts[bucket]
+                    and self._bucket_keys[bucket] == keys[bucket]):
+                continue
+            repaired.append(bucket)
+        dirty_meta = {
+            expected_meta[key][0] for key in expected_meta
+            if self._meta.get(key) != expected_meta[key]
+        }
+        dirty_meta.update(
+            bucket for key, (bucket, _) in
+            ((k, m) for k, m in self._meta.items() if k not in expected_meta)
+        )
+        repaired = sorted(set(repaired) | dirty_meta)
+        if not repaired:
+            return []
+        self._bucket_xor = xors
+        self._bucket_count_items = counts
+        self._bucket_keys = keys
+        self._meta = expected_meta
+        self.mutation_epoch += 1
+        for bucket in repaired:
+            self._bucket_epochs[bucket] = self.mutation_epoch
+        return repaired
+
     def bucket_epoch(self, bucket: int) -> int:
         """Mutation epoch of the last change touching ``bucket``."""
         return self._bucket_epochs[bucket]

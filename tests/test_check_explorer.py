@@ -96,6 +96,40 @@ class TestExploreAndReplay:
         assert replay(artifact)
 
 
+class TestCorruptionCampaigns:
+    def test_corruption_campaign_is_clean_and_deterministic(self):
+        report = explore(seeds=1, quick=True, shrink=False,
+                         nemesis_mode="corruption")
+        assert report["nemesis"] == "corruption"
+        assert report["failures"] == []
+        case = report["seeds"][0]
+        assert case["ok"]
+        # the campaign actually injected corruptions and healed them all
+        corruption = case["stats"]["corruption"]
+        assert corruption["injected"] > 0
+        healed = sum(c["healed"] for c in corruption["by_kind"].values())
+        assert healed == corruption["injected"]
+        rerun = run_case(0, quick=True, nemesis_mode="corruption")
+        assert rerun.stats["corruption"] == corruption
+
+    def test_break_audit_failure_shrinks_and_replays(self):
+        # The corruption tier's positive control must flow through the
+        # whole fuzz -> confirm -> shrink -> replay loop: a shrunk
+        # failing corruption schedule has to reproduce the same checker
+        # violation when replayed from the JSON artifact.
+        report = explore(seeds=1, quick=True, break_audit=True,
+                         nemesis_mode="corruption", shrink=True,
+                         max_shrink_runs=8)
+        assert report["failures"], "break-audit campaign found nothing"
+        failure = report["failures"][0]
+        assert failure["confirmed_deterministic"]
+        assert any(v["checker"] == "corruption_healed"
+                   for v in failure["violations"])
+        assert "shrunk_schedule" in failure
+        artifact = json.loads(json.dumps(report))
+        assert replay(artifact)
+
+
 class TestCheckCli:
     def test_check_smoke_exit_zero(self, capsys):
         rc = main(["check", "--seeds", "1", "--quick", "--no-shrink"])
@@ -111,3 +145,12 @@ class TestCheckCli:
         assert artifact.exists()
         rc = main(["check", "--replay", str(artifact)])
         assert rc == 0  # every recorded failure reproduced
+
+    def test_check_cli_corruption_break_audit_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "corruption.json"
+        rc = main(["check", "--seeds", "1", "--quick", "--no-shrink",
+                   "--nemesis", "corruption", "--break-audit",
+                   "--expect-violation", "--artifact", str(artifact)])
+        assert rc == 0
+        rc = main(["check", "--replay", str(artifact)])
+        assert rc == 0
