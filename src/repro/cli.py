@@ -234,9 +234,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_e17(args)
     if args.experiment == "e18":
         return _bench_e18(args)
+    if args.experiment == "e19":
+        return _bench_e19(args)
     if args.experiment != "e15":
         print(f"unknown bench {args.experiment!r}; available: "
-              "e05b, e06, e15, e16, e17, e18",
+              "e05b, e06, e15, e16, e17, e18, e19",
               file=sys.stderr)
         return 2
     from repro.epidemic.costbench import measure_antientropy_cost
@@ -613,6 +615,47 @@ def _bench_e18(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _bench_e19(args: argparse.Namespace) -> int:
+    """Graceful degradation under multi-tenant overload.
+
+    Three cells of the production-traffic workload (gold/silver steady
+    tenants with declared SLOs + a bulk aggressor with a moving hotspot
+    and a mid-run flash crowd): gated at 1x, gated at the overload
+    multiple, and an ungated control at the same overload. The gates
+    assert that with per-tenant fair shedding the in-SLO tenants keep
+    their declared p99 and total goodput degrades gracefully, while the
+    unprotected control collapses.
+    """
+    from repro.obs.slobench import (
+        SloBenchConfig, measure_graceful_degradation, render_report,
+    )
+
+    cfg = SloBenchConfig(
+        nodes=args.nodes if args.nodes is not None else 48,
+        soft=args.soft,
+        seed=args.seed,
+        duration=args.slo_duration,
+        rate=args.rate,
+        overload=args.overload,
+        trace_out=args.trace_out,
+    )
+    print(f"e19: SLO overload, {cfg.nodes} storage nodes, "
+          f"{cfg.duration:g}s at {cfg.rate:g} ops/s base "
+          f"({cfg.overload:g}x aggressor overload, "
+          f"capacity {cfg.capacity:g} ops/s)")
+    doc = measure_graceful_degradation(cfg)
+    print(render_report(doc))
+    if cfg.trace_out:
+        print(f"trace: {doc['metrics']['trace_events']} events "
+              f"-> {cfg.trace_out}")
+    if not args.check:
+        return 0
+    ok = bool(doc["passed"])
+    _write_artifact("e19", doc["metrics"], doc["gates"])
+    print("check:", "ok" if ok else "FAILED (see gates in BENCH_e19.json)")
+    return 0 if ok else 1
+
+
 def _cmd_sim(args: argparse.Namespace) -> int:
     """Run the stock sharded dissemination workload once."""
     from repro.sim.shardbench import measure_scale
@@ -672,7 +715,10 @@ def _record_trace(args: argparse.Namespace, path: str) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.analyze import load_traces, render_summary, summarize
+    from repro.obs.analyze import (
+        attribute_tail, load_traces, render_summary, render_tail_attribution,
+        summarize,
+    )
 
     path = args.path or "trace.jsonl"
     if args.record:
@@ -682,7 +728,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     traces = load_traces(path)
     summaries = summarize(traces)
+    if args.tenant is not None:
+        keep = {s.trace_id for s in summaries if s.tenant == args.tenant}
+        if not keep:
+            print(f"trace: no traces for tenant {args.tenant!r}",
+                  file=sys.stderr)
+            return 2
+        traces = {tid: tr for tid, tr in traces.items() if tid in keep}
+        summaries = [s for s in summaries if s.trace_id in keep]
     print(render_summary(summaries, limit=args.limit, show_paths=args.paths))
+    # Per-tenant attribution of the slow tail: which protocol phase the
+    # p99 operations actually spent their time in.
+    attribution = attribute_tail(traces, q=args.quantile, summaries=summaries)
+    if attribution:
+        print()
+        print(render_tail_attribution(attribution, q=args.quantile))
     if args.check:
         connected = sum(1 for s in summaries if s.connected)
         ok = bool(summaries) and connected == len(summaries)
@@ -698,11 +758,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs.export import (
         CounterWindows, metrics_json, prometheus_text, render_windows_report,
     )
+    from repro.obs.slo import TENANT_PREFIX, SloTracker, escape_tenant
+
+    tenant_filter = None
+    if args.tenant is not None:
+        tenant_filter = f"tenant.{escape_tenant(args.tenant)}."
 
     if args.path is not None:
         with open(args.path) as fh:
             doc = json.load(fh)
-        print(render_windows_report(doc, last=args.last))
+        print(render_windows_report(doc, last=args.last,
+                                    name_filter=tenant_filter))
         return 0
 
     config = DataDropletsConfig(
@@ -711,26 +777,71 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(f"sampling: {config.n_storage} storage nodes, "
           f"{args.duration:.0f}s at {args.period:g}s windows ...")
     dd = DataDroplets(config).start(warmup=10.0)
-    windows = CounterWindows(dd.metrics)
+    # The tracker turns the facade's OpTraces into tenant.* families so
+    # the export formats below have per-tenant series to show.
+    SloTracker(dd.metrics, {}, window=args.duration).attach(dd)
+    windows = CounterWindows(dd.metrics, prefixes=("net.", TENANT_PREFIX))
     windows.attach(dd.sim, period=args.period)
+    tenants = ("alpha", "beta")
     for i in range(25):
-        dd.put(f"m:{i}", {"v": i})
+        dd.put(f"m:{i}", {"v": i}, tenant=tenants[i % len(tenants)])
     dd.run_for(args.duration)
     windows.detach()
 
     if args.format == "prom":
-        text = prometheus_text(dd.metrics)
+        text = prometheus_text(dd.metrics, tenant_top_k=args.tenant_top_k)
+        if tenant_filter is not None:
+            prom_needle = tenant_filter.replace(".", "_")
+            text = "".join(line + "\n" for line in text.splitlines()
+                           if prom_needle in line)
     elif args.format == "json":
-        text = json.dumps(metrics_json(dd.metrics, windows), indent=2) + "\n"
+        doc = metrics_json(dd.metrics, windows,
+                           tenant_top_k=args.tenant_top_k)
+        if tenant_filter is not None:
+            doc = {section: {name: value for name, value in values.items()
+                             if tenant_filter in name}
+                   for section, values in doc.items()
+                   if isinstance(values, dict)}
+        text = json.dumps(doc, indent=2) + "\n"
     else:
-        text = render_windows_report(metrics_json(dd.metrics, windows),
-                                     last=args.last) + "\n"
+        text = render_windows_report(
+            metrics_json(dd.metrics, windows,
+                         tenant_top_k=args.tenant_top_k),
+            last=args.last, name_filter=tenant_filter) + "\n"
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"written to {args.output}")
     else:
         print(text, end="")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Run one production-traffic cell and print the per-tenant SLO table."""
+    from repro.obs.slobench import SloBenchConfig, run_cell
+
+    cfg = SloBenchConfig(
+        nodes=args.nodes, soft=args.soft, seed=args.seed,
+        duration=args.duration, rate=args.rate,
+    )
+    label = f"{args.scale:g}x-{args.mode}"
+    print(f"slo: {cfg.nodes} storage nodes, {cfg.duration:g}s at "
+          f"{cfg.rate:g} ops/s base ({label}, capacity "
+          f"{cfg.capacity:g} ops/s)")
+    cell = run_cell(cfg, args.mode, args.scale, label,
+                    trace_out=args.trace_out)
+    print(cell.report)
+    shed = ", ".join(f"{t}={n:g}" for t, n in sorted(cell.shed.items()))
+    admitted = ", ".join(f"{t}={n:g}" for t, n in sorted(cell.admitted.items()))
+    print(f"goodput: {cell.goodput:.1f} ops/s "
+          f"({cell.offered} offered over {cfg.duration:g}s)")
+    print(f"admitted: {admitted}")
+    print(f"shed: {shed}")
+    print(f"max queue depth: {cell.queue_depth_max:g}")
+    if args.trace_out:
+        print(f"trace: {cell.trace_events} events -> {args.trace_out} "
+              f"(analyze with 'repro trace {args.trace_out}')")
     return 0
 
 
@@ -826,9 +937,10 @@ def build_parser() -> argparse.ArgumentParser:
                       "static redundancy under churn; e15: anti-entropy "
                       "reconciliation cost; e16: runtime wire cost; e17: "
                       "sharded scale + vectorised sieve; e18: "
-                      "self-stabilisation under state corruption)")
+                      "self-stabilisation under state corruption; e19: "
+                      "graceful degradation under multi-tenant overload)")
     bench.add_argument("experiment",
-                       help="experiment id (e05b, e06, e15, e16, e17, e18)")
+                       help="experiment id (e05b, e06, e15, e16, e17, e18, e19)")
     bench.add_argument("-n", "--items", type=int, default=None,
                        help="store items (e15, default 2000) or messages "
                             "per round (e16, default 60)")
@@ -873,6 +985,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="e05b max simulated heartbeat-mesh nodes; the "
                             "O(N) per-node cost is extrapolated beyond "
                             "(default 300)")
+    bench.add_argument("--soft", type=int, default=3,
+                       help="e19 soft-state coordinators (default 3)")
+    bench.add_argument("--rate", type=float, default=120.0,
+                       help="e19 total offered base rate in ops/s "
+                            "(default 120)")
+    bench.add_argument("--overload", type=float, default=2.0,
+                       help="e19 aggressor rate multiplier for the overload "
+                            "cells (default 2)")
+    bench.add_argument("--slo-duration", type=float, default=30.0,
+                       help="e19 measured virtual seconds per cell "
+                            "(default 30)")
+    bench.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="e19: export the overloaded gated cell's causal "
+                            "trace here (analyze with 'repro trace PATH')")
     bench.add_argument("--check", action="store_true",
                        help="exit non-zero unless the optimised path beats the "
                             "baseline with identical protocol behaviour "
@@ -918,6 +1044,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print each trace's critical path")
     trace.add_argument("--limit", type=int, default=10,
                        help="traces shown individually")
+    trace.add_argument("--tenant", default=None,
+                       help="restrict the summary and tail attribution to "
+                            "one tenant's operations")
+    trace.add_argument("--quantile", type=float, default=0.99,
+                       help="tail quantile attributed per tenant "
+                            "(default 0.99)")
     trace.add_argument("--check", action="store_true",
                        help="exit non-zero unless every trace's span tree "
                             "is connected")
@@ -939,7 +1071,33 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("-o", "--output", default=None, metavar="PATH")
     metrics.add_argument("--last", type=int, default=6,
                          help="windows shown per counter")
+    metrics.add_argument("--tenant", default=None,
+                         help="show only this tenant's metric families")
+    metrics.add_argument("--tenant-top-k", type=int, default=None,
+                         help="cap exported per-tenant series to the top-K "
+                              "tenants by operation count (rest aggregate "
+                              "into 'other')")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    slo = sub.add_parser(
+        "slo", help="per-tenant SLO report for one production-traffic cell "
+                    "(multi-tenant workload through the admission gate)")
+    slo.add_argument("-n", "--nodes", type=int, default=48,
+                     help="storage nodes")
+    slo.add_argument("--soft", type=int, default=3,
+                     help="soft-state coordinators")
+    slo.add_argument("--duration", type=float, default=20.0,
+                     help="measured virtual seconds")
+    slo.add_argument("--rate", type=float, default=120.0,
+                     help="total offered base rate (ops/s)")
+    slo.add_argument("--scale", type=float, default=1.0,
+                     help="aggressor rate multiplier (2.0 = overload)")
+    slo.add_argument("--mode", choices=("shed", "queue"), default="shed",
+                     help="admission gate mode (queue = unprotected control)")
+    slo.add_argument("--seed", type=int, default=42)
+    slo.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="export the cell's causal trace here")
+    slo.set_defaults(fn=_cmd_slo)
 
     check = sub.add_parser(
         "check", help="Jepsen-style fault-injection checking campaign "

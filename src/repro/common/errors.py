@@ -26,6 +26,14 @@ class TimeoutError_(DataDropletsError):
     """
 
 
+class SheddedError(DataDropletsError):
+    """The admission gate rejected the operation under overload.
+
+    Raised at the client facade *before* any network traffic: the caller
+    is over its fair share while the system is saturated (see
+    :mod:`repro.obs.overload`). Clients should back off and retry."""
+
+
 class UnknownMessageError(DataDropletsError):
     """A message type was not found in the registry (codec/runtime)."""
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.obs.overload import AdmissionConfig
 from repro.redundancy.manager import RepairPolicy
 from repro.softstate.coordinator import SoftStateConfig
 
@@ -132,6 +133,11 @@ class DataDropletsConfig:
     # client
     client_timeout: float = 30.0  # virtual seconds per operation
     client_retries: int = 2  # re-sends after a timed-out request
+    # Overload protection at the facade: None disables the gate entirely
+    # (the pre-PR-10 behaviour); an AdmissionConfig installs a token-
+    # bucket admission gate with per-tenant fair shedding and publishes
+    # queue-depth / shed / saturation telemetry (repro.obs.overload).
+    admission: Optional[AdmissionConfig] = None
 
     # observability — causal tracing (see docs/API.md "Tracing & metrics
     # export"). Off by default: the disabled tracer costs one attribute

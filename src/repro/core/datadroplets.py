@@ -23,12 +23,14 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import DataDropletsError, TimeoutError_
+from repro.common.errors import DataDropletsError, SheddedError, TimeoutError_
 from repro.common.ids import NodeId
 from repro.common.messages import Message
 from repro.core.config import DataDropletsConfig
 from repro.core.storage import make_storage_stack
 from repro.estimation.lifetimes import LifetimeEstimator
+from repro.obs.overload import AdmissionGate
+from repro.obs.slo import DEFAULT_TENANT
 from repro.obs.trace import Tracer
 from repro.redundancy.adaptive import AdaptiveRepairPolicy
 from repro.sim.churn import PoissonChurn
@@ -52,17 +54,24 @@ from repro.softstate.ring import ConsistentHashRing
 
 
 class ClientProtocol(Protocol):
-    """Collects ClientReply messages for the facade."""
+    """Collects ClientReply messages for the facade.
+
+    ``on_reply`` is an optional callback fired for every reply as it
+    arrives — open-loop drivers (``repro.obs.slobench``) hang off it to
+    collect completions without blocking in ``_await_reply``."""
 
     name = "client"
 
     def __init__(self) -> None:
         super().__init__()
         self.replies: Dict[str, ClientReply] = {}
+        self.on_reply: Optional[Callable[[ClientReply], None]] = None
 
     def on_message(self, sender: NodeId, message: Message) -> None:
         if isinstance(message, ClientReply):
             self.replies[message.request_id] = message
+            if self.on_reply is not None:
+                self.on_reply(message)
 
 
 class UnavailableError(DataDropletsError):
@@ -91,6 +100,9 @@ class OpTrace:
     #: is off or the op was sampled out) — joins history records to the
     #: JSONL trace log for replay-with-trace debugging.
     trace_id: Optional[str] = None
+    #: Tenant tag of the operation (None when the caller did not tag it)
+    #: — the SLO tracker attributes latency/goodput/shed per tenant.
+    tenant: Optional[str] = None
 
     @property
     def coordinator(self) -> Optional[int]:
@@ -170,6 +182,11 @@ class DataDroplets:
         )
         self._started = False
         self._op_observer: Optional[Callable[[OpTrace], None]] = None
+        # Optional overload protection: token-bucket admission with
+        # per-tenant fair shedding, publishing into the shared registry.
+        self.admission: Optional[AdmissionGate] = None
+        if self.config.admission is not None:
+            self.admission = AdmissionGate(self.config.admission, self.metrics)
 
     def _on_storage_lifecycle(self, node: Node, event: str) -> None:
         """Feed the shared lifetime estimator from node transitions: a
@@ -324,20 +341,25 @@ class DataDroplets:
     # ------------------------------------------------------------------
     # client operations
     # ------------------------------------------------------------------
-    def put(self, key: str, record: Dict[str, Any]) -> Dict[str, int]:
+    def put(self, key: str, record: Dict[str, Any],
+            tenant: Optional[str] = None) -> Dict[str, int]:
         """Write a record; returns the assigned version."""
-        reply = self._call(key, lambda rid: ClientPut(rid, key, dict(record)), kind="put")
+        reply = self._call(key, lambda rid: ClientPut(rid, key, dict(record)),
+                           kind="put", tenant=tenant)
         return reply.value
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str, tenant: Optional[str] = None) -> Optional[Dict[str, Any]]:
         """Read a record (None if absent or deleted)."""
-        reply = self._call(key, lambda rid: ClientGet(rid, key), kind="get")
+        reply = self._call(key, lambda rid: ClientGet(rid, key), kind="get",
+                           tenant=tenant)
         return reply.value
 
-    def delete(self, key: str) -> None:
-        self._call(key, lambda rid: ClientDelete(rid, key), kind="delete")
+    def delete(self, key: str, tenant: Optional[str] = None) -> None:
+        self._call(key, lambda rid: ClientDelete(rid, key), kind="delete",
+                   tenant=tenant)
 
-    def multi_get(self, keys: Sequence[str]) -> Dict[str, Optional[Dict[str, Any]]]:
+    def multi_get(self, keys: Sequence[str],
+                  tenant: Optional[str] = None) -> Dict[str, Optional[Dict[str, Any]]]:
         """Read several records in one coordinator round-trip.
 
         All keys are served by the coordinator of the *first* key, which
@@ -345,26 +367,31 @@ class DataDroplets:
         operation correlation-aware placement accelerates (E12)."""
         if not keys:
             return {}
-        reply = self._call(keys[0], lambda rid: ClientMultiGet(rid, tuple(keys)), kind="multi_get")
+        reply = self._call(keys[0], lambda rid: ClientMultiGet(rid, tuple(keys)),
+                           kind="multi_get", tenant=tenant)
         return reply.value
 
-    def scan(self, attribute: str, low: float, high: float) -> List[Dict[str, Any]]:
+    def scan(self, attribute: str, low: float, high: float,
+             tenant: Optional[str] = None) -> List[Dict[str, Any]]:
         """Range scan over an indexed attribute (rows sorted by value)."""
         reply = self._call(
-            f"scan:{attribute}", lambda rid: ClientScan(rid, attribute, low, high), kind="scan"
+            f"scan:{attribute}", lambda rid: ClientScan(rid, attribute, low, high),
+            kind="scan", tenant=tenant
         )
         return reply.value
 
-    def aggregate(self, attribute: str, kind: str = "avg") -> float:
+    def aggregate(self, attribute: str, kind: str = "avg",
+                  tenant: Optional[str] = None) -> float:
         """Global aggregate (avg | sum | count | max | min)."""
         reply = self._call(
             f"agg:{attribute}:{kind}", lambda rid: ClientAggregate(rid, attribute, kind),
-            kind="aggregate",
+            kind="aggregate", tenant=tenant,
         )
         return reply.value
 
     # ------------------------------------------------------------------
-    def _call(self, routing_key: str, build, kind: str = "op") -> ClientReply:
+    def _call(self, routing_key: str, build, kind: str = "op",
+              tenant: Optional[str] = None) -> ClientReply:
         if not self._started:
             raise DataDropletsError("call start() before issuing operations")
         # Requests or replies can be lost on a lossy network; clients
@@ -376,9 +403,28 @@ class DataDroplets:
         last_error: Exception = UnavailableError("no live soft-state coordinator")
         tracer = self.tracer
         # Root span of this operation's causal tree (None when tracing is
-        # off or the op is sampled out); every retry sends under it.
+        # off or the op is sampled out); every retry sends under it. The
+        # tenant tag rides in the root detail so trace analysis can
+        # attribute the whole span tree without touching the wire format.
         ctx = tracer.start_trace(
-            self.client_node.node_id.value, kind, invoked_at, key=routing_key)
+            self.client_node.node_id.value, kind, invoked_at, key=routing_key,
+            tenant=tenant or DEFAULT_TENANT)
+        # Admission gate (when configured): decide *before* any network
+        # traffic. Shed raises; an in-share queue wait advances virtual
+        # time, so the measured latency includes the admission delay.
+        if self.admission is not None:
+            decision = self.admission.offer(tenant or DEFAULT_TENANT, self.sim.now)
+            if not decision.admitted:
+                tracer.event("shed", self.client_node.node_id.value,
+                             self.sim.now, ctx=ctx, reason=decision.reason)
+                self._trace(kind, routing_key, trace_attempts, invoked_at,
+                            ok=False, error="SheddedError", ctx=ctx, tenant=tenant)
+                raise SheddedError(
+                    f"{kind} {routing_key!r} shed by admission gate ({decision.reason})")
+            if decision.wait > 0:
+                tracer.event("admission-wait", self.client_node.node_id.value,
+                             self.sim.now, ctx=ctx, wait=decision.wait)
+                self.sim.run_for(decision.wait)
         try:
             for _ in range(attempts):
                 self._refresh_ring()
@@ -404,16 +450,17 @@ class DataDroplets:
                 if not reply.ok:
                     raise UnavailableError(reply.error or "operation failed")
                 self._trace(kind, routing_key, trace_attempts, invoked_at,
-                            ok=True, error=None, ctx=ctx)
+                            ok=True, error=None, ctx=ctx, tenant=tenant)
                 return reply
             raise last_error
         except DataDropletsError as exc:
             self._trace(kind, routing_key, trace_attempts, invoked_at,
-                        ok=False, error=type(exc).__name__, ctx=ctx)
+                        ok=False, error=type(exc).__name__, ctx=ctx, tenant=tenant)
             raise
 
     def _trace(self, kind: str, routing_key: str, attempts: List[Tuple[str, int]],
-               invoked_at: float, ok: bool, error: Optional[str], ctx=None) -> None:
+               invoked_at: float, ok: bool, error: Optional[str], ctx=None,
+               tenant: Optional[str] = None) -> None:
         if ctx is not None:
             self.tracer.event("op-complete", self.client_node.node_id.value,
                               self.sim.now, ctx=ctx, ok=ok)
@@ -428,6 +475,7 @@ class DataDroplets:
             invoked_at=invoked_at,
             completed_at=self.sim.now,
             trace_id=ctx.trace_id if ctx is not None else None,
+            tenant=tenant,
         ))
 
     def _await_reply(self, request_id: str) -> ClientReply:

@@ -13,10 +13,17 @@ Three pieces, deliberately decoupled from the protocols they observe:
 * :mod:`repro.obs.export` — windowed counter rates, Prometheus-text and
   JSON metric exporters, an optional asyncio metrics endpoint and a
   dump-on-signal hook for the runtime. Drives ``repro metrics``.
+* :mod:`repro.obs.slo` — per-tenant windowed SLO tracking (p50/p99,
+  goodput, burn rate) fed from facade op telemetry. Drives ``repro slo``.
+* :mod:`repro.obs.overload` — token-bucket admission gate with
+  per-tenant fair shedding and overload telemetry.
+* :mod:`repro.obs.slobench` — the E19 graceful-degradation bench.
 """
 
 from repro.obs.trace import NULL_TRACER, TraceContext, TraceEvent, Tracer
 from repro.obs.export import CounterWindows, metrics_json, prometheus_text
+from repro.obs.overload import AdmissionConfig, AdmissionGate, Decision
+from repro.obs.slo import DEFAULT_TENANT, SloTracker, TenantSLO, escape_tenant
 
 __all__ = [
     "NULL_TRACER",
@@ -26,4 +33,11 @@ __all__ = [
     "CounterWindows",
     "metrics_json",
     "prometheus_text",
+    "AdmissionConfig",
+    "AdmissionGate",
+    "Decision",
+    "DEFAULT_TENANT",
+    "SloTracker",
+    "TenantSLO",
+    "escape_tenant",
 ]

@@ -171,7 +171,7 @@ def load_traces(path: str) -> Dict[str, Trace]:
 # ---------------------------------------------------------------------------
 
 #: message-name prefixes → phase label (first match wins; fall back to
-#: the protocol name).
+#: the protocol map below).
 # First matching prefix wins, so more specific names come first
 # (``ClientReply`` before ``Client``, ``ReadReply`` before ``Read``).
 _PHASE_BY_MSG = (
@@ -184,12 +184,14 @@ _PHASE_BY_MSG = (
     ("ScanPartial", "storage-reply"),
     ("AggregateReply", "storage-reply"),
     ("RebuildReply", "storage-reply"),
+    ("RedirectedOp", "route-redirect"),
     ("Read", "coordinator-dispatch"),
     ("BatchRead", "coordinator-dispatch"),
     ("Scan", "coordinator-dispatch"),
     ("Aggregate", "coordinator-dispatch"),
     ("EpidemicRead", "coordinator-dispatch"),
     ("Rebuild", "coordinator-dispatch"),
+    ("InjectRebuild", "coordinator-dispatch"),
     ("Gossip", "gossip-hop"),
     ("PbcastData", "gossip-hop"),
     ("Advertisement", "gossip-lazy"),
@@ -201,15 +203,112 @@ _PHASE_BY_MSG = (
     ("Items", "antientropy"),
     ("PbcastDigest", "antientropy"),
     ("PbcastSolicit", "antientropy"),
+    # one-hop routing layer (PR 8): member-event epidemics, liveness
+    # probes, and routing-table anti-entropy are all *routing* cost.
+    ("MemberEvent", "route-gossip"),
+    ("EventGossip", "route-gossip"),
+    ("OneHopPing", "route-probe"),
+    ("OneHopPong", "route-probe"),
+    ("RouteProbe", "route-probe"),
+    ("RouteReply", "route-probe"),
+    ("Table", "route-antientropy"),
+    # redundancy census random walks (the audit machinery's probes).
+    ("WalkStep", "census"),
+    ("WalkResult", "census"),
+    # background membership / estimation / overlay maintenance.
+    ("SoftHeartbeat", "membership"),
+    ("NewsExchange", "membership"),
+    ("ShuffleRequest", "membership"),
+    ("ShuffleReply", "membership"),
+    ("TManExchange", "overlay"),
+    ("VectorExchange", "overlay"),
+    ("PushSumShare", "estimation"),
+    ("ExtremeShare", "estimation"),
+    ("ExtremaExchange", "estimation"),
+    ("HistogramShare", "estimation"),
 )
+
+#: protocol → phase for spans whose message name matches no prefix
+#: (prefix-named protocols like ``tman:<attr>`` are matched on prefix).
+_PHASE_BY_PROTO = {
+    "soft": "coordinator-dispatch",
+    "storage": "coordinator-dispatch",
+    "client": "client-request",
+    "gossip": "gossip-hop",
+    "anti-entropy": "antientropy",
+    "range-repair": "repair-exchange",
+    "redundancy": "repair-control",
+    "random-walk": "census",
+    "onehop": "route-gossip",
+    "membership": "membership",
+    "soft-membership": "membership",
+    "size-estimator": "estimation",
+    "multi-overlay": "overlay",
+    "dht": "baseline",
+    "chord": "baseline",
+}
+
+_PHASE_BY_PROTO_PREFIX = (
+    ("tman:", "overlay"),
+    ("push-sum:", "estimation"),
+    ("extreme:", "estimation"),
+    ("histogram:", "estimation"),
+)
+
+#: fine phase → coarse bucket for tail attribution: where did the slow
+#: quantile's time go — client-path coordination, epidemic
+#: dissemination, redundancy repair, routing, or audit traffic?
+PHASE_GROUPS = {
+    "client-op": "coordinate",
+    "client-request": "coordinate",
+    "client-reply": "coordinate",
+    "coordinator-dispatch": "coordinate",
+    "storage-ack": "coordinate",
+    "storage-reply": "coordinate",
+    "gossip-hop": "disseminate",
+    "gossip-lazy": "disseminate",
+    "membership": "disseminate",
+    "overlay": "disseminate",
+    "estimation": "disseminate",
+    "antientropy": "repair",
+    "repair-exchange": "repair",
+    "repair-control": "repair",
+    "route-gossip": "route",
+    "route-probe": "route",
+    "route-antientropy": "route",
+    "route-redirect": "route",
+    "baseline": "route",
+    "census": "audit",
+    "audit": "audit",
+}
 
 
 def phase_of(span: Span) -> str:
+    # The root span is the client operation itself, not a message hop.
+    if span.kind == "op":
+        return "client-op"
+    # Protocol precedes the message-name match where the same message
+    # classes serve two phases: RangeRepair reuses the anti-entropy
+    # Digest*/Items* vocabulary over its range-scoped store, but that
+    # traffic is *repair*, not generic anti-entropy.
+    if span.proto == "range-repair":
+        return "repair-exchange"
     msg = span.msg or ""
     for prefix, phase in _PHASE_BY_MSG:
         if msg.startswith(prefix):
             return phase
-    return span.proto or "unknown"
+    proto = span.proto or ""
+    if proto in _PHASE_BY_PROTO:
+        return _PHASE_BY_PROTO[proto]
+    for prefix, phase in _PHASE_BY_PROTO_PREFIX:
+        if proto.startswith(prefix):
+            return phase
+    return "unknown"
+
+
+def phase_group(phase: str) -> str:
+    """Coarse bucket of a fine phase (``other`` for unmapped ones)."""
+    return PHASE_GROUPS.get(phase, "other")
 
 
 def phase_breakdown(trace: Trace) -> Dict[str, Tuple[int, float]]:
@@ -244,11 +343,13 @@ class TraceSummary:
     phases: Dict[str, Tuple[int, float]]
     critical_path: List[Span]       # root → latest-completing apply
     critical_latency: Optional[float]
+    tenant: Optional[str] = None    # tenant tag from the root op detail
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "trace": self.trace_id,
             "kind": self.kind,
+            "tenant": self.tenant,
             "start": self.start,
             "applies": self.applies,
             "spans": self.spans,
@@ -286,8 +387,11 @@ def summarize_trace(trace: Trace) -> TraceSummary:
             latest = (event.t, span, event)
     root = trace.root
     kind = "?"
+    tenant: Optional[str] = None
     if root is not None and root.annotations:
-        kind = (root.annotations[0].detail or {}).get("kind", "?")
+        detail = root.annotations[0].detail or {}
+        kind = detail.get("kind", "?")
+        tenant = detail.get("tenant")
     critical: List[Span] = []
     critical_latency: Optional[float] = None
     if latest is not None:
@@ -307,12 +411,99 @@ def summarize_trace(trace: Trace) -> TraceSummary:
         phases=phase_breakdown(trace),
         critical_path=critical,
         critical_latency=critical_latency,
+        tenant=tenant,
     )
 
 
 def summarize(traces: Dict[str, Trace]) -> List[TraceSummary]:
     return sorted((summarize_trace(t) for t in traces.values()),
                   key=lambda s: s.start)
+
+
+# ---------------------------------------------------------------------------
+# tenant/phase tail attribution
+# ---------------------------------------------------------------------------
+
+
+def _nearest_rank(ordered: List[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted non-empty list."""
+    import math
+
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def attribute_tail(traces: Dict[str, Trace], q: float = 0.99,
+                   summaries: Optional[List[TraceSummary]] = None) -> Dict[str, Dict[str, Any]]:
+    """Per tenant: which phase dominates the slow ``q`` quantile.
+
+    Groups operation traces by tenant, takes each tenant's slowest
+    ``1-q`` fraction (by critical latency), and sums the coarse phase
+    buckets (``coordinate / disseminate / repair / route / audit``) of
+    hop latency inside those slow traces. The ``dominant`` entry names
+    where a tenant's tail latency actually goes — client-path
+    coordination, or background repair/route traffic the op got queued
+    behind on shared spans.
+
+    Returns ``{tenant: {"ops", "slow_ops", "threshold", "phases":
+    {group: {"total", "share"}}, "dominant"}}``. Traces without a
+    measured critical latency are skipped; pass precomputed
+    ``summaries`` to avoid re-walking the span trees.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    if summaries is None:
+        summaries = summarize(traces)
+    by_tenant: Dict[str, List[TraceSummary]] = defaultdict(list)
+    for s in summaries:
+        if s.critical_latency is not None:
+            by_tenant[s.tenant or "default"].append(s)
+    out: Dict[str, Dict[str, Any]] = {}
+    canonical = ("coordinate", "disseminate", "repair", "route", "audit")
+    for tenant, group in sorted(by_tenant.items()):
+        latencies = sorted(s.critical_latency for s in group)
+        threshold = _nearest_rank(latencies, q)
+        slow = [s for s in group if s.critical_latency >= threshold]
+        # Always report the canonical buckets (zero when a phase carried
+        # no traffic) so readers can see what the tail is NOT spent on.
+        buckets: Dict[str, float] = dict.fromkeys(canonical, 0.0)
+        for s in slow:
+            for phase, (_count, total) in s.phases.items():
+                g = phase_group(phase)
+                buckets[g] = buckets.get(g, 0.0) + total
+        grand = sum(buckets.values())
+        out[tenant] = {
+            "ops": len(group),
+            "slow_ops": len(slow),
+            "threshold": threshold,
+            "phases": {
+                name: {"total": total,
+                       "share": total / grand if grand else 0.0}
+                for name, total in sorted(buckets.items())
+            },
+            "dominant": max(buckets, key=buckets.get) if grand else None,
+        }
+    return out
+
+
+def render_tail_attribution(attribution: Dict[str, Dict[str, Any]],
+                            q: float = 0.99) -> str:
+    """Human-readable block for ``repro trace`` / ``repro slo``."""
+    if not attribution:
+        return "tail attribution: no completed operation traces"
+    lines = [f"per-tenant tail attribution (slowest {100 * (1 - q):g}% by critical latency):"]
+    for tenant, doc in attribution.items():
+        lines.append(
+            f"  {tenant:<12} ops={doc['ops']:<5} slow={doc['slow_ops']:<3}"
+            f" p{100 * q:g}={_fmt_latency(doc['threshold'])}"
+            f"  dominant={doc['dominant'] or '-'}"
+        )
+        for name, cell in doc["phases"].items():
+            lines.append(
+                f"      {name:<12} total={_fmt_latency(cell['total']):<10}"
+                f" share={cell['share'] * 100:5.1f}%"
+            )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -355,8 +546,9 @@ def render_summary(summaries: List[TraceSummary], limit: int = 10,
     lines.append("")
     for s in summaries[:limit]:
         width = "/".join(str(s.width_by_hop[h]) for h in sorted(s.width_by_hop)) or "-"
+        tenant = f" [{s.tenant}]" if s.tenant else ""
         lines.append(
-            f"{s.trace_id:<14} {s.kind:<10} spans={s.spans:<5} applies={s.applies:<3}"
+            f"{s.trace_id:<14} {s.kind:<10}{tenant} spans={s.spans:<5} applies={s.applies:<3}"
             f" depth={s.depth} width={width:<8}"
             f" crit={_fmt_latency(s.critical_latency):<9}"
             f"{' CONNECTED' if s.connected else ' DISCONNECTED'}"

@@ -23,6 +23,7 @@ import re
 import signal as signal_module
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.slo import TENANT_PREFIX
 from repro.sim.metrics import Metrics, TimeSeries
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -106,7 +107,14 @@ class CounterWindows:
             width = cur.time - prev.time
             if width <= 0:
                 continue
-            out.append((prev.time, cur.time, (cur.value - prev.value) / width))
+            delta = cur.value - prev.value
+            if delta < 0:
+                # Counter reset (node crash/restart re-created the
+                # registry): Prometheus semantics — the counter restarted
+                # from zero, so the whole current value is this window's
+                # delta rather than a negative rate.
+                delta = cur.value
+            out.append((prev.time, cur.time, delta / width))
         return out
 
     def windowed_totals(self, name: str) -> float:
@@ -143,14 +151,79 @@ class CounterWindows:
 _HIST_QUANTILES = (50.0, 90.0, 99.0)
 
 
-def prometheus_text(metrics: Metrics) -> str:
+def _split_tenant_name(name: str) -> Optional[Tuple[str, str]]:
+    """``tenant.<escaped>.<suffix>`` → ``(escaped, suffix)``; else None."""
+    if not name.startswith(TENANT_PREFIX):
+        return None
+    tenant, sep, suffix = name[len(TENANT_PREFIX):].partition(".")
+    if not sep or not tenant or not suffix:
+        return None
+    return tenant, suffix
+
+
+def cap_tenant_cardinality(metrics: Metrics, top_k: int) -> Metrics:
+    """Bound per-tenant series cardinality for export.
+
+    Returns a registry in which at most ``top_k`` tenants (ranked by
+    their ``tenant.<id>.ops`` counter, ties broken by name) keep their
+    own ``tenant.*`` families; every other tenant's counters, gauges and
+    histograms are aggregated into ``tenant.other.*`` (counters and
+    gauges summed, histograms merged with exact count/total). Tenant
+    time series beyond the cap are dropped — a cumulative series has no
+    meaningful sum. Non-tenant families pass through untouched; when the
+    tenant population already fits, the original registry is returned.
+
+    This is the scrape-side guard real deployments need: tenant ids are
+    unbounded user input, Prometheus cardinality is not.
+    """
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    tenants: set = set()
+    for store in (metrics.counters, metrics.gauges, metrics.histograms):
+        for name in store:
+            parsed = _split_tenant_name(name)
+            if parsed is not None:
+                tenants.add(parsed[0])
+    if len(tenants) <= top_k:
+        return metrics
+    ranked = sorted(
+        tenants,
+        key=lambda t: (-metrics.counter_value(f"{TENANT_PREFIX}{t}.ops"), t),
+    )
+    keep = set(ranked[:top_k])
+
+    def target(name: str) -> Optional[str]:
+        parsed = _split_tenant_name(name)
+        if parsed is None or parsed[0] in keep:
+            return name
+        return f"{TENANT_PREFIX}other.{parsed[1]}"
+
+    out = Metrics()
+    for name, counter in metrics.counters.items():
+        out.counters[target(name)].inc(counter.value)
+    for name, gauge in metrics.gauges.items():
+        out.gauges[target(name)].add(gauge.value)
+    for name, hist in metrics.histograms.items():
+        out.histograms[target(name)].merge(hist)
+    for name, series in metrics.series.items():
+        parsed = _split_tenant_name(name)
+        if parsed is None or parsed[0] in keep:
+            out.series[name] = series
+    return out
+
+
+def prometheus_text(metrics: Metrics, tenant_top_k: Optional[int] = None) -> str:
     """Render the registry in the Prometheus text exposition format.
 
     Counters become ``<name>_total`` counters, gauges stay gauges, and
     histograms become summaries (quantiles + ``_sum``/``_count``).
     Empty histograms export only their zero count — never NaN, which
     Prometheus would accept but every aggregation silently poisons.
+    ``tenant_top_k`` bounds per-tenant cardinality via
+    :func:`cap_tenant_cardinality` before rendering.
     """
+    if tenant_top_k is not None:
+        metrics = cap_tenant_cardinality(metrics, tenant_top_k)
     lines: List[str] = []
     for name, counter in sorted(metrics.counters.items()):
         prom = _prom_name(name) + "_total"
@@ -174,8 +247,13 @@ def prometheus_text(metrics: Metrics) -> str:
 
 
 def metrics_json(metrics: Metrics, windows: Optional[CounterWindows] = None,
-                 ) -> Dict[str, Any]:
-    """JSON document of the full registry (plus window tables if given)."""
+                 tenant_top_k: Optional[int] = None) -> Dict[str, Any]:
+    """JSON document of the full registry (plus window tables if given).
+
+    ``tenant_top_k`` bounds per-tenant cardinality via
+    :func:`cap_tenant_cardinality` before rendering."""
+    if tenant_top_k is not None:
+        metrics = cap_tenant_cardinality(metrics, tenant_top_k)
     histograms: Dict[str, Dict[str, float]] = {}
     for name, hist in metrics.histograms.items():
         if hist.count:
@@ -207,11 +285,18 @@ def write_metrics_json(path: str, metrics: Metrics,
         fh.write("\n")
 
 
-def render_windows_report(doc: Dict[str, Any], last: int = 6) -> str:
-    """Render a ``metrics_json`` document's window tables for the CLI."""
+def render_windows_report(doc: Dict[str, Any], last: int = 6,
+                          name_filter: Optional[str] = None) -> str:
+    """Render a ``metrics_json`` document's window tables for the CLI.
+
+    ``name_filter`` keeps only series whose name contains the substring
+    (the ``repro metrics --tenant`` filter passes an escaped tenant id).
+    """
     lines: List[str] = []
     windows = doc.get("windows", {})
     for name in sorted(windows):
+        if name_filter is not None and name_filter not in name:
+            continue
         rows = windows[name][-last:]
         if not rows:
             continue

@@ -1,0 +1,282 @@
+"""Per-tenant SLO tracking: windowed latency, goodput, burn rate.
+
+:class:`SloTracker` is the per-tenant half of the observability plane
+(ROADMAP item 5): it consumes the facade's per-operation telemetry
+(:class:`~repro.core.datadroplets.OpTrace`, via ``set_op_observer`` or
+fed directly by an open-loop driver) and maintains, per tenant,
+
+* cumulative counters and a latency histogram in the shared
+  :class:`~repro.sim.metrics.Metrics` registry (``tenant.<id>.ops``,
+  ``.ok``, ``.errors``, ``.shed``, ``.latency``), so the PR 5
+  Prometheus/JSON exporters pick them up with zero extra wiring;
+* a trailing sample window for *windowed* views: p50/p99 latency,
+  goodput (successful ops/s), error and shed rates;
+* the SLO *burn rate* against a declared :class:`TenantSLO` — the
+  fraction of operations that were "bad" (shed, failed, or slower than
+  the declared p99 target) divided by the tolerated error budget. A
+  burn rate of 1.0 means the tenant is consuming its budget exactly as
+  fast as allowed; above 1.0 the budget is burning down.
+
+Tenant ids are arbitrary strings; :func:`escape_tenant` maps them
+*injectively* into the ``[A-Za-z0-9_]`` alphabet so two distinct
+tenants can never collide into one metric family (see the
+``_prom_name`` collision tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.sim.metrics import Metrics
+
+#: Metric-name prefix of every per-tenant series.
+TENANT_PREFIX = "tenant."
+
+#: Tenant attributed to operations with no tenant tag.
+DEFAULT_TENANT = "default"
+
+
+def escape_tenant(tenant: str) -> str:
+    """Injective mapping of a tenant id into ``[A-Za-z0-9_]+``.
+
+    ASCII alphanumerics pass through; every other character (including
+    ``_`` itself, so the escape marker stays unambiguous) becomes
+    ``_<codepoint hex>x``: ``a-b`` -> ``a_2dxb``, ``a.b`` -> ``a_2exb``,
+    ``a_b`` -> ``a_5fxb``. Distinct tenants always yield distinct names
+    (the trailing ``x`` terminates the variable-length codepoint).
+    """
+    out: List[str] = []
+    for ch in tenant:
+        if ch.isascii() and ch.isalnum():
+            out.append(ch)
+        else:
+            out.append(f"_{ord(ch):x}x")
+    return "".join(out) or "_"
+
+
+def tenant_metric_name(tenant: str, suffix: str) -> str:
+    """``tenant.<escaped id>.<suffix>`` — the per-tenant family layout."""
+    return f"{TENANT_PREFIX}{escape_tenant(tenant)}.{suffix}"
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """A tenant's declared service-level objective.
+
+    ``p99_latency`` is the latency target in (virtual) seconds: an
+    operation slower than this counts against the budget exactly like a
+    failure. ``error_budget`` is the tolerated bad fraction (SRE-style:
+    0.01 = 99% of operations must be good).
+    """
+
+    p99_latency: float
+    error_budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.p99_latency <= 0:
+            raise ConfigurationError("p99_latency must be positive")
+        if not 0.0 < self.error_budget < 1.0:
+            raise ConfigurationError("error_budget must be in (0, 1)")
+
+
+class _TenantState:
+    """Running totals plus the trailing sample window for one tenant."""
+
+    __slots__ = ("ops", "ok", "errors", "shed", "latencies", "samples")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.ok = 0
+        self.errors = 0
+        self.shed = 0
+        self.latencies: List[float] = []
+        #: (completed_at, latency, ok, shed) — pruned to the window.
+        self.samples: Deque[Tuple[float, float, bool, bool]] = deque()
+
+
+def _percentile(ordered: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile over an already-sorted list."""
+    if not ordered:
+        return None
+    import math
+
+    rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class SloTracker:
+    """Per-tenant SLO observability fed from facade op telemetry.
+
+    Args:
+        metrics: registry the per-tenant series are published into.
+        slos: declared :class:`TenantSLO` per tenant id (tenants without
+            a declaration get windowed stats but no burn rate).
+        window: trailing window (virtual seconds) for windowed views.
+    """
+
+    def __init__(self, metrics: Metrics,
+                 slos: Optional[Dict[str, TenantSLO]] = None,
+                 window: float = 10.0):
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        self.metrics = metrics
+        self.slos: Dict[str, TenantSLO] = dict(slos or {})
+        self.window = window
+        self._tenants: Dict[str, _TenantState] = {}
+        self._now = 0.0
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, dd) -> "SloTracker":
+        """Install as the facade's op observer (replaces any previous)."""
+        dd.set_op_observer(self.observe)
+        return self
+
+    # -- ingestion -----------------------------------------------------
+    def observe(self, op) -> None:
+        """Consume one :class:`OpTrace` (works for any object with the
+        same attributes, so drivers can synthesize records)."""
+        tenant = getattr(op, "tenant", None) or DEFAULT_TENANT
+        shed = op.error == "SheddedError"
+        latency = op.completed_at - op.invoked_at
+        self._now = max(self._now, op.completed_at)
+
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        state.ops += 1
+        counters = self.metrics.counters
+        counters[tenant_metric_name(tenant, "ops")].inc()
+        if shed:
+            state.shed += 1
+            counters[tenant_metric_name(tenant, "shed")].inc()
+        elif op.ok:
+            state.ok += 1
+            counters[tenant_metric_name(tenant, "ok")].inc()
+            state.latencies.append(latency)
+            self.metrics.histogram(tenant_metric_name(tenant, "latency")).observe(latency)
+        else:
+            state.errors += 1
+            counters[tenant_metric_name(tenant, "errors")].inc()
+        state.samples.append((op.completed_at, latency, bool(op.ok) and not shed, shed))
+        self._prune(state, op.completed_at)
+
+    def _prune(self, state: _TenantState, now: float) -> None:
+        horizon = now - self.window
+        samples = state.samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    # -- views ---------------------------------------------------------
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def window_stats(self, tenant: str, now: Optional[float] = None) -> Dict[str, Any]:
+        """Windowed view over the trailing ``window`` seconds.
+
+        Keys: ``ops/ok/errors/shed`` (window counts), ``goodput``
+        (ok/s), ``p50``/``p99`` (over successful ops; None when empty),
+        ``bad_fraction`` and ``burn_rate``/``in_slo`` when the tenant
+        declared an SLO.
+        """
+        state = self._tenants.get(tenant)
+        if now is None:
+            now = self._now
+        slo = self.slos.get(tenant)
+        if state is None:
+            return self._empty_stats(slo)
+        horizon = now - self.window
+        window = [s for s in state.samples if s[0] >= horizon]
+        ok_lat = sorted(lat for _, lat, ok, _ in window if ok)
+        ops = len(window)
+        ok = len(ok_lat)
+        shed = sum(1 for s in window if s[3])
+        errors = ops - ok - shed
+        out: Dict[str, Any] = {
+            "ops": ops,
+            "ok": ok,
+            "errors": errors,
+            "shed": shed,
+            "goodput": ok / self.window,
+            "p50": _percentile(ok_lat, 50),
+            "p99": _percentile(ok_lat, 99),
+        }
+        if slo is not None:
+            slow = sum(1 for lat in ok_lat if lat > slo.p99_latency)
+            bad = errors + shed + slow
+            bad_fraction = bad / ops if ops else 0.0
+            out["bad_fraction"] = bad_fraction
+            out["burn_rate"] = bad_fraction / slo.error_budget
+            out["in_slo"] = out["burn_rate"] <= 1.0
+        return out
+
+    @staticmethod
+    def _empty_stats(slo: Optional[TenantSLO]) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ops": 0, "ok": 0, "errors": 0, "shed": 0,
+            "goodput": 0.0, "p50": None, "p99": None,
+        }
+        if slo is not None:
+            out.update(bad_fraction=0.0, burn_rate=0.0, in_slo=True)
+        return out
+
+    def totals(self, tenant: str) -> Dict[str, Any]:
+        """Cumulative per-tenant view over the tracker's whole lifetime."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            return {"ops": 0, "ok": 0, "errors": 0, "shed": 0,
+                    "p50": None, "p99": None}
+        ordered = sorted(state.latencies)
+        return {
+            "ops": state.ops,
+            "ok": state.ok,
+            "errors": state.errors,
+            "shed": state.shed,
+            "p50": _percentile(ordered, 50),
+            "p99": _percentile(ordered, 99),
+        }
+
+    def summary(self, now: Optional[float] = None) -> Dict[str, Dict[str, Any]]:
+        """JSON-friendly per-tenant document: totals + windowed stats."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for tenant in self.tenants():
+            doc = dict(self.totals(tenant))
+            doc["window"] = self.window_stats(tenant, now)
+            slo = self.slos.get(tenant)
+            if slo is not None:
+                doc["slo"] = {"p99_latency": slo.p99_latency,
+                              "error_budget": slo.error_budget}
+            out[tenant] = doc
+        return out
+
+    def report(self, now: Optional[float] = None) -> str:
+        """Human-readable per-tenant table (the ``repro slo`` output)."""
+        if not self._tenants:
+            return "no tenant operations observed"
+        lines = [
+            f"{'tenant':<12} {'ops':>7} {'ok':>7} {'err':>5} {'shed':>6} "
+            f"{'p50':>9} {'p99':>9} {'goodput/s':>10} {'burn':>6}  slo"
+        ]
+        for tenant in self.tenants():
+            totals = self.totals(tenant)
+            window = self.window_stats(tenant, now)
+            slo = self.slos.get(tenant)
+            burn = window.get("burn_rate")
+            verdict = ""
+            if slo is not None:
+                verdict = ("OK" if window.get("in_slo") else "BURNING") \
+                    + f" (<= {slo.p99_latency * 1000:g}ms)"
+            lines.append(
+                f"{tenant:<12} {totals['ops']:>7} {totals['ok']:>7} "
+                f"{totals['errors']:>5} {totals['shed']:>6} "
+                f"{_fmt_ms(totals['p50']):>9} {_fmt_ms(totals['p99']):>9} "
+                f"{window['goodput']:>10.1f} "
+                f"{'-' if burn is None else format(burn, '.2f'):>6}  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1000:.1f}ms"

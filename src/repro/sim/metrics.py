@@ -138,6 +138,21 @@ class Histogram:
     def values(self) -> List[float]:
         return list(self._values)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one.
+
+        Summary statistics (count/total/min/max) stay exact; percentiles
+        are computed over the union of both retained value sets (still
+        exact unless either side sampled via a reservoir). Used by the
+        exporter's tenant-cardinality cap to aggregate the long tail of
+        tenants into one ``other`` family."""
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._values.extend(other._values)
+        self._sorted = None
+
 
 @dataclass
 class Sample:

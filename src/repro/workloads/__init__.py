@@ -20,6 +20,15 @@ from repro.workloads.generators import (
     zipf_sampler,
 )
 
+from repro.workloads.profiles import (
+    Arrival,
+    HotspotSchedule,
+    LoadStep,
+    MultiTenantWorkload,
+    RateProfile,
+    TenantProfile,
+)
+
 __all__ = [
     "COMMODITY_2011",
     "DESKTOP_GRADE",
@@ -34,4 +43,10 @@ __all__ = [
     "uniform_records",
     "user_events",
     "zipf_sampler",
+    "Arrival",
+    "HotspotSchedule",
+    "LoadStep",
+    "MultiTenantWorkload",
+    "RateProfile",
+    "TenantProfile",
 ]

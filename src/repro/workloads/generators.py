@@ -115,6 +115,7 @@ class Operation:
     attribute: Optional[str] = None
     low: float = 0.0
     high: float = 0.0
+    tenant: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -211,15 +212,19 @@ class OperationStream:
 
 
 def apply_operation(store, operation: Operation):
-    """Run one Operation against any store exposing the facade API."""
+    """Run one Operation against any store exposing the facade API.
+
+    The tenant tag is forwarded only when set, so plain dict-backed test
+    stores without a ``tenant`` keyword keep working."""
+    extra = {"tenant": operation.tenant} if operation.tenant is not None else {}
     if operation.kind == "put":
-        return store.put(operation.key, operation.record or {})
+        return store.put(operation.key, operation.record or {}, **extra)
     if operation.kind == "get":
-        return store.get(operation.key)
+        return store.get(operation.key, **extra)
     if operation.kind == "delete":
-        return store.delete(operation.key)
+        return store.delete(operation.key, **extra)
     if operation.kind == "multi_get":
-        return store.multi_get(list(operation.keys))
+        return store.multi_get(list(operation.keys), **extra)
     if operation.kind == "scan":
-        return store.scan(operation.attribute, operation.low, operation.high)
+        return store.scan(operation.attribute, operation.low, operation.high, **extra)
     raise ValueError(f"unknown operation kind {operation.kind!r}")

@@ -1,0 +1,298 @@
+"""Production traffic profiles: moving hotspots, flash crowds, tenants.
+
+The paper's generators (:mod:`repro.workloads.generators`) draw from a
+*stationary* popularity distribution. Real million-user traffic is not
+stationary: the hot keys drift as the world's attention moves, load
+steps up when a crowd arrives, and several tenants with different
+behaviours and different SLOs share one substrate. This module layers
+those three effects over the existing :class:`Operation` vocabulary:
+
+* :class:`HotspotSchedule` — a Zipf popularity whose rank-0 *center*
+  drifts across the key space on a fixed schedule, so the working set
+  the coordinator caches and the sieve ranges absorb keeps moving;
+* :class:`RateProfile` — piecewise-constant offered load, with a
+  :meth:`RateProfile.flash_crowd` constructor for step load;
+* :class:`TenantProfile` / :class:`MultiTenantWorkload` — per-tenant
+  key-prefix streams with independent rate profiles, fat-tailed
+  (lognormal) value sizes, operation mixes, and declared
+  :class:`~repro.obs.slo.TenantSLO` s, merged into one deterministic
+  time-stamped arrival sequence for open-loop drivers (E19).
+
+Everything is seeded and deterministic: the same profile and seed
+produce byte-identical arrival sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.slo import TenantSLO
+from repro.workloads.generators import MixRatios, Operation, zipf_sampler
+
+
+class HotspotSchedule:
+    """Zipf popularity whose hotspot center drifts on a schedule.
+
+    At time ``t`` the most popular key index is ``center(t)``; rank ``r``
+    of the Zipf draw maps to index ``(center(t) + r) % n_keys``. Every
+    ``drift_period`` seconds the center jumps ``drift_step`` keys
+    forward, so a cache or placement tuned to the old hotspot goes cold
+    on a known cadence.
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99,
+                 drift_period: float = 10.0, drift_step: Optional[int] = None,
+                 start: int = 0):
+        if n_keys <= 0:
+            raise ConfigurationError("n_keys must be positive")
+        if drift_period <= 0:
+            raise ConfigurationError("drift_period must be positive")
+        self.n_keys = n_keys
+        self.theta = theta
+        self.drift_period = drift_period
+        self.drift_step = (max(1, n_keys // 8) if drift_step is None
+                           else drift_step)
+        self.start = start
+        self._sampler = None
+        self._rng: Optional[random.Random] = None
+
+    def bind(self, rng: random.Random) -> "HotspotSchedule":
+        """Attach the RNG stream the rank draws come from."""
+        self._rng = rng
+        self._sampler = zipf_sampler(self.n_keys, self.theta, rng)
+        return self
+
+    def center(self, t: float) -> int:
+        return (self.start + int(t / self.drift_period) * self.drift_step) % self.n_keys
+
+    def sample(self, t: float) -> int:
+        """Key index drawn from the popularity law centered at time t."""
+        if self._sampler is None:
+            raise ConfigurationError("call bind(rng) before sampling")
+        return (self.center(t) + self._sampler()) % self.n_keys
+
+
+@dataclass(frozen=True)
+class LoadStep:
+    """From ``start`` on, offered load is ``factor`` x the base rate."""
+
+    start: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Piecewise-constant offered load (ops per virtual second)."""
+
+    base_rate: float
+    steps: Tuple[LoadStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ConfigurationError("base_rate must be positive")
+        starts = [s.start for s in self.steps]
+        if starts != sorted(starts):
+            raise ConfigurationError("steps must be sorted by start time")
+        for step in self.steps:
+            if step.factor < 0:
+                raise ConfigurationError("step factor must be >= 0")
+
+    @classmethod
+    def steady(cls, rate: float) -> "RateProfile":
+        return cls(base_rate=rate)
+
+    @classmethod
+    def flash_crowd(cls, base_rate: float, at: float, duration: float,
+                    factor: float) -> "RateProfile":
+        """Step load: ``factor`` x base during ``[at, at + duration)``."""
+        if duration <= 0:
+            raise ConfigurationError("flash crowd duration must be positive")
+        return cls(base_rate=base_rate,
+                   steps=(LoadStep(at, factor), LoadStep(at + duration, 1.0)))
+
+    def rate_at(self, t: float) -> float:
+        factor = 1.0
+        for step in self.steps:
+            if step.start <= t:
+                factor = step.factor
+            else:
+                break
+        return self.base_rate * factor
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's traffic contract: stream shape, size law, and SLO.
+
+    Keys live under the tenant's own prefix (``<name>:item:<i>``) so
+    placement, metrics and traces can attribute every byte. Value sizes
+    are lognormal (fat-tailed, like real object stores); the optional
+    :class:`HotspotSchedule` replaces the stationary Zipf draw.
+    """
+
+    name: str
+    rate: RateProfile
+    weight: float = 1.0
+    mix: MixRatios = field(default_factory=MixRatios)
+    n_keys: int = 100
+    zipf_theta: float = 0.9
+    hotspot: Optional[HotspotSchedule] = None
+    value_bytes_median: float = 120.0
+    value_bytes_sigma: float = 0.8  # lognormal shape: fat tail
+    value_bytes_cap: int = 4096
+    slo: Optional[TenantSLO] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigurationError("tenant weight must be positive")
+        if self.n_keys <= 0:
+            raise ConfigurationError("n_keys must be positive")
+        if self.value_bytes_median <= 0 or self.value_bytes_sigma < 0:
+            raise ConfigurationError("value size law must be positive")
+        if self.hotspot is not None and self.hotspot.n_keys != self.n_keys:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: hotspot n_keys {self.hotspot.n_keys} "
+                f"!= tenant n_keys {self.n_keys}")
+
+    def key(self, index: int) -> str:
+        return f"{self.name}:item:{index % self.n_keys}"
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One timestamped, tenant-tagged operation of the merged stream."""
+
+    t: float
+    tenant: str
+    operation: Operation
+
+
+class _TenantStream:
+    """Deterministic per-tenant operation generator (time-aware keys)."""
+
+    def __init__(self, profile: TenantProfile, seed: int):
+        self.profile = profile
+        self.rng = random.Random(f"profile/{seed}/{profile.name}")
+        if profile.hotspot is not None:
+            self.hotspot: Optional[HotspotSchedule] = profile.hotspot.bind(self.rng)
+            self._pick = None
+        else:
+            self.hotspot = None
+            self._pick = zipf_sampler(profile.n_keys, profile.zipf_theta, self.rng)
+        self._update_counter = 0
+
+    def _key_index(self, t: float) -> int:
+        if self.hotspot is not None:
+            return self.hotspot.sample(t)
+        assert self._pick is not None
+        return self._pick()
+
+    def _payload(self) -> Dict[str, object]:
+        profile = self.profile
+        size = self.rng.lognormvariate(0.0, profile.value_bytes_sigma)
+        n_bytes = min(profile.value_bytes_cap,
+                      max(1, int(round(size * profile.value_bytes_median))))
+        self._update_counter += 1
+        return {"rev": self._update_counter, "pad": "x" * n_bytes}
+
+    def operation(self, t: float) -> Operation:
+        profile = self.profile
+        mix = profile.mix
+        roll = self.rng.random()
+        key = profile.key(self._key_index(t))
+        if roll < mix.update_fraction:
+            return Operation("put", key=key, record=self._payload(),
+                             tenant=profile.name)
+        roll -= mix.update_fraction
+        if roll < mix.delete_fraction:
+            return Operation("delete", key=key, tenant=profile.name)
+        return Operation("get", key=key, tenant=profile.name)
+
+
+class MultiTenantWorkload:
+    """Merge per-tenant Poisson streams into one arrival sequence.
+
+    ``arrivals`` thins a homogeneous Poisson process per tenant against
+    its (possibly stepped) rate profile, so flash crowds and steady
+    tenants share one deterministic timeline. ``rate_scale`` multiplies
+    selected tenants' offered load — the E19 overload knob.
+    """
+
+    def __init__(self, tenants: Sequence[TenantProfile], seed: int = 7):
+        if not tenants:
+            raise ConfigurationError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("tenant names must be unique")
+        self.tenants = list(tenants)
+        self.seed = seed
+
+    def slos(self) -> Dict[str, TenantSLO]:
+        return {t.name: t.slo for t in self.tenants if t.slo is not None}
+
+    def weights(self) -> Tuple[Tuple[str, float], ...]:
+        return tuple((t.name, t.weight) for t in self.tenants)
+
+    def datasets(self) -> Dict[str, List[str]]:
+        """Every tenant's full key population (for preloading)."""
+        return {t.name: [t.key(i) for i in range(t.n_keys)]
+                for t in self.tenants}
+
+    def peak_rate(self, duration: float,
+                  rate_scale: Optional[Dict[str, float]] = None) -> float:
+        """Max total offered rate over ``[0, duration)`` (step edges)."""
+        scale = rate_scale or {}
+        edges = {0.0}
+        for tenant in self.tenants:
+            edges.update(s.start for s in tenant.rate.steps if s.start < duration)
+        return max(
+            sum(t.rate.rate_at(edge) * scale.get(t.name, 1.0)
+                for t in self.tenants)
+            for edge in edges
+        )
+
+    def arrivals(self, duration: float,
+                 rate_scale: Optional[Dict[str, float]] = None,
+                 ) -> Iterator[Arrival]:
+        """Yield the merged arrival sequence in time order."""
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        scale = rate_scale or {}
+        heap: List[Tuple[float, int, _TenantStream, random.Random]] = []
+        for order, profile in enumerate(self.tenants):
+            stream = _TenantStream(profile, self.seed)
+            clock = random.Random(f"arrivals/{self.seed}/{profile.name}")
+            t = self._next_arrival(profile, clock, 0.0, scale.get(profile.name, 1.0))
+            if t < duration:
+                heapq.heappush(heap, (t, order, stream, clock))
+        while heap:
+            t, order, stream, clock = heapq.heappop(heap)
+            yield Arrival(t, stream.profile.name, stream.operation(t))
+            nxt = self._next_arrival(stream.profile, clock, t,
+                                     scale.get(stream.profile.name, 1.0))
+            if nxt < duration:
+                heapq.heappush(heap, (nxt, order, stream, clock))
+
+    @staticmethod
+    def _next_arrival(profile: TenantProfile, clock: random.Random,
+                      t: float, scale: float) -> float:
+        """Thinned Poisson: draw at the profile's peak rate, keep a draw
+        with probability rate(t)/peak — exact for piecewise-constant
+        rates, deterministic per tenant stream."""
+        factors = [1.0] + [s.factor for s in profile.rate.steps]
+        peak = profile.rate.base_rate * max(factors) * scale
+        if peak <= 0:
+            return float("inf")
+        while True:
+            t += clock.expovariate(peak)
+            rate = profile.rate.rate_at(t) * scale
+            if rate <= 0:
+                continue
+            if clock.random() < rate / peak:
+                return t

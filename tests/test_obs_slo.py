@@ -1,0 +1,207 @@
+"""Per-tenant SLO tracking and exporter cardinality control."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Optional
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.export import (
+    _prom_name,
+    cap_tenant_cardinality,
+    metrics_json,
+    prometheus_text,
+)
+from repro.obs.slo import (
+    DEFAULT_TENANT,
+    SloTracker,
+    TenantSLO,
+    escape_tenant,
+    tenant_metric_name,
+)
+from repro.sim.metrics import Metrics
+
+
+@dataclass
+class FakeOp:
+    """Shape-compatible stand-in for the facade's OpTrace."""
+
+    kind: str = "put"
+    routing_key: str = "k"
+    ok: bool = True
+    error: Optional[str] = None
+    invoked_at: float = 0.0
+    completed_at: float = 0.1
+    tenant: Optional[str] = "gold"
+
+
+class TestEscapeTenant:
+    def test_alnum_passes_through(self):
+        assert escape_tenant("Tenant42") == "Tenant42"
+
+    def test_injective_on_colliding_raw_names(self):
+        # All of these would collapse to "a_b" under naive sanitising.
+        raw = ["a_b", "a-b", "a.b", "a b", "a/b"]
+        escaped = [escape_tenant(t) for t in raw]
+        assert len(set(escaped)) == len(raw)
+        # And their *prometheus* family names stay distinct too — the
+        # escape happens before _prom_name ever sees the id.
+        proms = [_prom_name(tenant_metric_name(t, "ops")) for t in raw]
+        assert len(set(proms)) == len(raw)
+
+    def test_escape_alphabet_is_prom_safe(self):
+        for tenant in ("a_b", "ünïcode", "x.y/z", "", "_"):
+            escaped = escape_tenant(tenant)
+            assert escaped
+            assert _prom_name(escaped) == escaped  # nothing to sanitise
+
+    def test_injective_fuzz(self):
+        tenants = {f"t{sep}{i}" for i in range(30)
+                   for sep in ("_", "-", ".", "::")}
+        escaped = {escape_tenant(t) for t in tenants}
+        assert len(escaped) == len(tenants)
+
+
+class TestTenantSLO:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantSLO(0.0)
+        with pytest.raises(ConfigurationError):
+            TenantSLO(0.5, error_budget=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantSLO(0.5, error_budget=1.0)
+
+
+class TestSloTracker:
+    def make(self, window: float = 10.0) -> SloTracker:
+        return SloTracker(Metrics(), {"gold": TenantSLO(0.2, error_budget=0.1)},
+                          window=window)
+
+    def test_totals_split_ok_errors_shed(self):
+        tracker = self.make()
+        tracker.observe(FakeOp(completed_at=0.1))
+        tracker.observe(FakeOp(ok=False, error="TimeoutError_", completed_at=0.2))
+        tracker.observe(FakeOp(ok=False, error="SheddedError", completed_at=0.3))
+        totals = tracker.totals("gold")
+        assert totals["ops"] == 3
+        assert totals["ok"] == 1
+        assert totals["errors"] == 1
+        assert totals["shed"] == 1
+        # Latency percentiles come from successful ops only.
+        assert totals["p99"] == pytest.approx(0.1)
+
+    def test_metrics_registry_families(self):
+        tracker = self.make()
+        tracker.observe(FakeOp())
+        tracker.observe(FakeOp(ok=False, error="SheddedError"))
+        m = tracker.metrics
+        assert m.counter_value("tenant.gold.ops") == 2
+        assert m.counter_value("tenant.gold.ok") == 1
+        assert m.counter_value("tenant.gold.shed") == 1
+        assert m.histogram("tenant.gold.latency").count == 1
+
+    def test_untagged_ops_fall_into_the_default_tenant(self):
+        tracker = self.make()
+        tracker.observe(FakeOp(tenant=None))
+        assert tracker.tenants() == [DEFAULT_TENANT]
+
+    def test_window_prunes_old_samples(self):
+        tracker = self.make(window=5.0)
+        tracker.observe(FakeOp(invoked_at=0.0, completed_at=1.0))
+        tracker.observe(FakeOp(invoked_at=19.9, completed_at=20.0))
+        window = tracker.window_stats("gold", now=20.0)
+        assert window["ops"] == 1
+        assert tracker.totals("gold")["ops"] == 2
+
+    def test_burn_rate_counts_slow_ops_against_the_budget(self):
+        tracker = self.make()
+        # 8 fast, 1 slow (>0.2s target), 1 error; budget 0.1.
+        for i in range(8):
+            tracker.observe(FakeOp(invoked_at=float(i), completed_at=i + 0.05))
+        tracker.observe(FakeOp(invoked_at=8.0, completed_at=8.5))
+        tracker.observe(FakeOp(ok=False, error="UnavailableError",
+                               invoked_at=9.0, completed_at=9.1))
+        window = tracker.window_stats("gold", now=9.1)
+        assert window["bad_fraction"] == pytest.approx(0.2)
+        assert window["burn_rate"] == pytest.approx(2.0)
+        assert window["in_slo"] is False
+
+    def test_tenant_without_declared_slo_has_no_burn_rate(self):
+        tracker = self.make()
+        tracker.observe(FakeOp(tenant="anon"))
+        window = tracker.window_stats("anon")
+        assert "burn_rate" not in window
+        assert window["ok"] == 1
+
+    def test_report_renders_every_tenant(self):
+        tracker = self.make()
+        tracker.observe(FakeOp())
+        tracker.observe(FakeOp(tenant="bulk"))
+        report = tracker.report()
+        assert "gold" in report and "bulk" in report
+        assert "BURNING" not in report  # fast ops: inside the budget
+
+    def test_empty_tracker(self):
+        tracker = self.make()
+        assert tracker.tenants() == []
+        assert tracker.report() == "no tenant operations observed"
+        assert tracker.window_stats("gold")["ops"] == 0
+        assert tracker.window_stats("gold")["in_slo"] is True
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker(Metrics(), window=0.0)
+
+
+def _tenant_metrics(ops_by_tenant) -> Metrics:
+    metrics = Metrics()
+    ticks = count()
+    for tenant, ops in ops_by_tenant.items():
+        for _ in range(ops):
+            metrics.counter(tenant_metric_name(tenant, "ops")).inc()
+            metrics.histogram(tenant_metric_name(tenant, "latency")).observe(0.05)
+        metrics.gauge(tenant_metric_name(tenant, "inflight")).set(float(ops))
+        metrics.timeseries(tenant_metric_name(tenant, "rate")).record(
+            float(next(ticks)), float(ops))
+    metrics.counter("net.sent.total").inc(100)
+    return metrics
+
+
+class TestTenantCardinalityCap:
+    def test_top_k_kept_rest_folded_into_other(self):
+        metrics = _tenant_metrics({"gold": 30, "silver": 20, "t3": 5, "t4": 2})
+        capped = cap_tenant_cardinality(metrics, top_k=2)
+        assert capped.counter_value("tenant.gold.ops") == 30
+        assert capped.counter_value("tenant.silver.ops") == 20
+        assert capped.counter_value("tenant.other.ops") == 7
+        assert "tenant.t3.ops" not in capped.counters
+        # Histograms merge, gauges add, time series are dropped.
+        assert capped.histogram("tenant.other.latency").count == 7
+        assert capped.gauge("tenant.other.inflight").value == 7.0
+        assert not any(name.startswith("tenant.t3.") for name in capped.series)
+        # Non-tenant families pass through untouched.
+        assert capped.counter_value("net.sent.total") == 100
+
+    def test_population_within_cap_is_a_noop(self):
+        metrics = _tenant_metrics({"gold": 3, "silver": 2})
+        assert cap_tenant_cardinality(metrics, top_k=2) is metrics
+
+    def test_exporters_apply_the_cap(self):
+        metrics = _tenant_metrics({"gold": 30, "silver": 20, "t3": 5})
+        text = prometheus_text(metrics, tenant_top_k=1)
+        assert "tenant_gold_ops_total" in text
+        assert "tenant_other_ops_total" in text
+        assert "tenant_silver" not in text
+        doc = metrics_json(metrics, tenant_top_k=1)
+        assert "tenant.other.ops" in doc["counters"]
+        assert "tenant.silver.ops" not in doc["counters"]
+
+    def test_deterministic_tie_break_by_name(self):
+        metrics = _tenant_metrics({"b": 5, "a": 5, "c": 5})
+        capped = cap_tenant_cardinality(metrics, top_k=2)
+        assert capped.counter_value("tenant.a.ops") == 5
+        assert capped.counter_value("tenant.b.ops") == 5
+        assert capped.counter_value("tenant.other.ops") == 5

@@ -245,3 +245,97 @@ class TestCounterWindows:
         windows = CounterWindows(metrics, prefixes=("net.",))
         windows.sample(1.0)
         assert windows.names() == ["net.sent.y"]
+
+
+class TestCounterWindowsEdgeCases:
+    def test_unknown_or_unsampled_counter_has_no_windows(self):
+        from repro.obs.export import CounterWindows
+
+        metrics = Metrics()
+        windows = CounterWindows(metrics, prefixes=("net.",))
+        assert windows.rates("net.never.sampled") == []
+        assert windows.windowed_totals("net.never.sampled") == 0.0
+        assert windows.report() == ""
+        assert windows.table() == {}
+
+    def test_single_sample_yields_no_windows(self):
+        from repro.obs.export import CounterWindows
+
+        metrics = Metrics()
+        metrics.counter("net.sent.one").inc(5)
+        windows = CounterWindows(metrics, prefixes=("net.",))
+        windows.sample(0.0)  # no zero-anchor at t=0: one sample, no delta
+        assert windows.rates("net.sent.one") == []
+
+    def test_counter_reset_uses_prometheus_semantics(self):
+        # A crash/restart re-creates the registry entry, so the sampled
+        # cumulative value *decreases*. The window's delta must then be
+        # the counter's post-restart value, never a negative rate.
+        from repro.obs.export import CounterWindows
+
+        metrics = Metrics()
+        counter = metrics.counter("net.sent.r")
+        windows = CounterWindows(metrics, prefixes=("net.",))
+        counter.inc(100)
+        windows.sample(1.0)
+        metrics.counters["net.sent.r"] = Counter()  # node restart
+        metrics.counters["net.sent.r"].inc(30)
+        windows.sample(2.0)
+        rates = windows.rates("net.sent.r")
+        assert [r for _, _, r in rates] == [100.0, 30.0]
+        assert all(r >= 0 for _, _, r in rates)
+
+    def test_coincident_samples_are_skipped(self):
+        from repro.obs.export import CounterWindows
+
+        metrics = Metrics()
+        counter = metrics.counter("net.sent.z")
+        windows = CounterWindows(metrics, prefixes=("net.",))
+        counter.inc(1)
+        windows.sample(1.0)
+        counter.inc(1)
+        windows.sample(1.0)  # zero-width window: no rate, no crash
+        counter.inc(1)
+        windows.sample(2.0)
+        rates = windows.rates("net.sent.z")
+        # the zero-anchor window plus 1.0 -> 2.0; the zero-width window
+        # at t=1.0 contributes nothing (its delta folds into the next)
+        assert rates == [(0.0, 1.0, 1.0), (1.0, 2.0, 1.0)]
+
+
+class TestRenderWindowsReport:
+    def _doc(self, n_windows: int):
+        return {
+            "windows": {
+                "net.sent.total": [
+                    {"t0": float(i), "t1": float(i + 1), "rate": 10.0 * i}
+                    for i in range(n_windows)
+                ],
+            },
+            "counters": {"net.sent.total": 123.0},
+        }
+
+    def test_fewer_windows_than_last_shows_them_all(self):
+        from repro.obs.export import render_windows_report
+
+        text = render_windows_report(self._doc(2), last=6)
+        assert text.count("/s") == 2
+        assert "cumulative: net.sent.total=123" in text
+
+    def test_empty_dump(self):
+        from repro.obs.export import render_windows_report
+
+        text = render_windows_report({"windows": {}, "counters": {}})
+        assert "no windowed samples" in text
+
+    def test_name_filter_keeps_matching_series_only(self):
+        from repro.obs.export import render_windows_report
+
+        doc = self._doc(3)
+        doc["windows"]["tenant.gold.ops"] = [
+            {"t0": 0.0, "t1": 1.0, "rate": 4.0}]
+        filtered = render_windows_report(doc, name_filter="tenant.gold.")
+        assert "tenant.gold.ops" in filtered
+        assert "net.sent.total:" not in filtered
+        missed = render_windows_report(doc, name_filter="tenant.absent.")
+        assert "no windowed samples" in missed

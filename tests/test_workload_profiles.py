@@ -1,0 +1,196 @@
+"""Production traffic profiles: hotspot drift, flash crowds, tenants."""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.slo import TenantSLO
+from repro.workloads import (
+    HotspotSchedule,
+    LoadStep,
+    MixRatios,
+    MultiTenantWorkload,
+    RateProfile,
+    TenantProfile,
+)
+
+
+class TestHotspotSchedule:
+    def test_center_drifts_on_schedule(self):
+        schedule = HotspotSchedule(100, drift_period=10.0, drift_step=5, start=3)
+        assert schedule.center(0.0) == 3
+        assert schedule.center(9.99) == 3
+        assert schedule.center(10.0) == 8
+        assert schedule.center(25.0) == 13
+        # Wraps around the key space.
+        assert schedule.center(10.0 * 100) == (3 + 5 * 100) % 100
+
+    def test_samples_concentrate_near_the_moving_center(self):
+        schedule = HotspotSchedule(1000, theta=0.99, drift_period=10.0,
+                                   drift_step=500).bind(random.Random(5))
+        early = Counter(schedule.sample(1.0) for _ in range(300))
+        late = Counter(schedule.sample(11.0) for _ in range(300))
+        # Rank 0 of the Zipf law maps onto the center of the era.
+        assert early.most_common(1)[0][0] == 0
+        assert late.most_common(1)[0][0] == 500
+
+    def test_sample_requires_bind(self):
+        with pytest.raises(ConfigurationError):
+            HotspotSchedule(10).sample(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotSchedule(0)
+        with pytest.raises(ConfigurationError):
+            HotspotSchedule(10, drift_period=0.0)
+
+
+class TestRateProfile:
+    def test_steady(self):
+        profile = RateProfile.steady(50.0)
+        assert profile.rate_at(0.0) == 50.0
+        assert profile.rate_at(1e6) == 50.0
+
+    def test_flash_crowd_steps_up_and_back(self):
+        profile = RateProfile.flash_crowd(40.0, at=10.0, duration=5.0, factor=3.0)
+        assert profile.rate_at(9.9) == 40.0
+        assert profile.rate_at(10.0) == 120.0
+        assert profile.rate_at(14.9) == 120.0
+        assert profile.rate_at(15.0) == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateProfile(base_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            RateProfile(base_rate=1.0, steps=(LoadStep(5.0, 2.0), LoadStep(1.0, 1.0)))
+        with pytest.raises(ConfigurationError):
+            RateProfile(base_rate=1.0, steps=(LoadStep(1.0, -0.5),))
+        with pytest.raises(ConfigurationError):
+            RateProfile.flash_crowd(1.0, at=0.0, duration=0.0, factor=2.0)
+
+
+class TestTenantProfile:
+    def test_keys_live_under_the_tenant_prefix(self):
+        profile = TenantProfile("gold", RateProfile.steady(10.0), n_keys=4)
+        assert profile.key(0) == "gold:item:0"
+        assert profile.key(7) == "gold:item:3"  # wraps modulo n_keys
+
+    def test_validation(self):
+        rate = RateProfile.steady(10.0)
+        with pytest.raises(ConfigurationError):
+            TenantProfile("", rate)
+        with pytest.raises(ConfigurationError):
+            TenantProfile("t", rate, weight=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantProfile("t", rate, n_keys=0)
+        with pytest.raises(ConfigurationError):
+            TenantProfile("t", rate, n_keys=10, hotspot=HotspotSchedule(20))
+
+
+def _workload(**kwargs) -> MultiTenantWorkload:
+    return MultiTenantWorkload(
+        [
+            TenantProfile("gold", RateProfile.steady(20.0), n_keys=8,
+                          slo=TenantSLO(0.5)),
+            TenantProfile("bulk", RateProfile.flash_crowd(
+                30.0, at=4.0, duration=4.0, factor=2.0),
+                weight=2.0, n_keys=16,
+                hotspot=HotspotSchedule(16, drift_period=2.0, drift_step=4)),
+        ],
+        **kwargs,
+    )
+
+
+class TestMultiTenantWorkload:
+    def test_same_seed_same_arrivals(self):
+        a = list(_workload(seed=9).arrivals(10.0))
+        b = list(_workload(seed=9).arrivals(10.0))
+        assert [(x.t, x.tenant, x.operation) for x in a] == \
+               [(y.t, y.tenant, y.operation) for y in b]
+        assert list(_workload(seed=10).arrivals(10.0)) != a
+
+    def test_arrivals_are_time_ordered_and_tagged(self):
+        arrivals = list(_workload(seed=3).arrivals(10.0))
+        times = [a.t for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 10.0 for t in times)
+        assert {a.tenant for a in arrivals} == {"gold", "bulk"}
+        for a in arrivals:
+            assert a.operation.tenant == a.tenant
+            assert a.operation.key.startswith(f"{a.tenant}:item:")
+
+    def test_arrival_volume_tracks_the_rate_profiles(self):
+        arrivals = list(_workload(seed=3).arrivals(20.0))
+        by_tenant = Counter(a.tenant for a in arrivals)
+        # gold: 20 ops/s * 20 s; bulk: 30/s with a 2x crowd over 4 s.
+        assert by_tenant["gold"] == pytest.approx(400, rel=0.25)
+        assert by_tenant["bulk"] == pytest.approx(30 * 20 + 30 * 4, rel=0.25)
+        # The flash-crowd window is visibly denser than the steady tail.
+        bulk = [a.t for a in arrivals if a.tenant == "bulk"]
+        crowd = sum(1 for t in bulk if 4.0 <= t < 8.0)
+        steady = sum(1 for t in bulk if 12.0 <= t < 16.0)
+        assert crowd > steady * 1.3
+
+    def test_rate_scale_multiplies_selected_tenants(self):
+        base = Counter(a.tenant for a in _workload(seed=3).arrivals(10.0))
+        scaled = Counter(a.tenant for a in
+                         _workload(seed=3).arrivals(10.0, rate_scale={"bulk": 2.0}))
+        assert scaled["bulk"] == pytest.approx(2 * base["bulk"], rel=0.3)
+        assert scaled["gold"] == pytest.approx(base["gold"], rel=0.3)
+
+    def test_peak_rate_sees_step_edges(self):
+        workload = _workload(seed=3)
+        assert workload.peak_rate(3.0) == pytest.approx(50.0)   # before the crowd
+        assert workload.peak_rate(10.0) == pytest.approx(80.0)  # during: 20 + 60
+        assert workload.peak_rate(10.0, rate_scale={"bulk": 2.0}) == \
+            pytest.approx(140.0)
+
+    def test_contract_views(self):
+        workload = _workload(seed=3)
+        assert set(workload.slos()) == {"gold"}
+        assert workload.weights() == (("gold", 1.0), ("bulk", 2.0))
+        datasets = workload.datasets()
+        assert len(datasets["gold"]) == 8
+        assert len(datasets["bulk"]) == 16
+
+    def test_value_sizes_are_capped_and_fat_tailed(self):
+        profile = TenantProfile(
+            "t", RateProfile.steady(200.0),
+            mix=MixRatios(update_fraction=1.0, delete_fraction=0.0),
+            value_bytes_median=100.0, value_bytes_cap=512)
+        workload = MultiTenantWorkload([profile], seed=4)
+        sizes = [len(a.operation.record["pad"])
+                 for a in workload.arrivals(5.0)]
+        assert sizes
+        assert max(sizes) <= 512
+        assert min(sizes) >= 1
+        assert len(set(sizes)) > 10  # genuinely spread, not constant
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiTenantWorkload([])
+        dup = TenantProfile("x", RateProfile.steady(1.0))
+        with pytest.raises(ConfigurationError):
+            MultiTenantWorkload([dup, dup])
+        with pytest.raises(ConfigurationError):
+            list(_workload(seed=1).arrivals(0.0))
+
+    def test_thinning_matches_the_analytic_rate(self):
+        # One stepped tenant, long horizon: the empirical per-phase rates
+        # must track rate_at, i.e. thinning is exact for step profiles.
+        profile = TenantProfile("t", RateProfile.flash_crowd(
+            50.0, at=20.0, duration=20.0, factor=0.5))
+        arrivals = [a.t for a in
+                    MultiTenantWorkload([profile], seed=6).arrivals(60.0)]
+        before = sum(1 for t in arrivals if t < 20.0)
+        during = sum(1 for t in arrivals if 20.0 <= t < 40.0)
+        after = sum(1 for t in arrivals if t >= 40.0)
+        assert before == pytest.approx(1000, rel=0.2)
+        assert during == pytest.approx(500, rel=0.25)
+        assert after == pytest.approx(1000, rel=0.2)
+        assert not math.isclose(before, during, rel_tol=0.3)
